@@ -1,0 +1,111 @@
+// Command honeynet runs the full honey-account experiment and prints
+// the paper's tables and figures.
+//
+// Usage:
+//
+//	honeynet [-seed N] [-days N] [-experiment id] [-resamples N]
+//
+// Experiment ids: overview, table1, fig1, fig2, fig3, fig4, fig5a,
+// fig5b, cvm, table2, sysconfig, cases, sophistication, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/honeynet"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		seed       = flag.Int64("seed", 42, "deterministic experiment seed")
+		days       = flag.Int("days", 236, "observation window in days (paper: 236)")
+		experiment = flag.String("experiment", "all", "which artifact to print (overview, table1, fig1..fig5b, cvm, table2, sysconfig, cases, sophistication, all)")
+		resamples  = flag.Int("resamples", 2000, "Cramér–von Mises permutation resamples")
+	)
+	flag.Parse()
+
+	exp, err := honeynet.New(honeynet.Config{
+		Seed:     *seed,
+		Duration: time.Duration(*days) * 24 * time.Hour,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "running %d-day deployment (seed %d)...\n", *days, *seed)
+	start := time.Now()
+	if err := exp.RunAll(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "done in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	ds := exp.Dataset()
+	cs := analysis.Classify(ds, analysis.ClassifyOptions{})
+
+	sections := map[string]func() string{
+		"overview": func() string { return report.Overview(analysis.Summarize(ds)) },
+		"table1": func() string {
+			counts := map[int]int{}
+			for _, a := range exp.Assignments() {
+				counts[a.Group.ID]++
+			}
+			var rows []report.Table1Row
+			for id := 1; id <= 5; id++ {
+				if counts[id] > 0 {
+					rows = append(rows, report.Table1Row{Group: id, Count: counts[id], Label: honeynet.PaperGroupLabel(id)})
+				}
+			}
+			return report.Table1(rows)
+		},
+		"fig1":      func() string { return report.Figure1(analysis.DurationsByClass(cs)) },
+		"fig2":      func() string { return report.Figure2(analysis.ByOutlet(cs)) },
+		"fig3":      func() string { return report.Figure3(analysis.TimeToFirstAccess(ds)) },
+		"fig4":      func() string { return report.Figure4(analysis.Timeline(ds)) },
+		"fig5a":     func() string { return report.Figure5("UK/London", analysis.MedianRadii(ds, analysis.HintUK)) },
+		"fig5b":     func() string { return report.Figure5("US/Pontiac", analysis.MedianRadii(ds, analysis.HintUS)) },
+		"cvm":       func() string { return report.Significance(analysis.LocationSignificance(ds, *resamples, *seed)) },
+		"sysconfig": func() string { return report.SystemConfig(analysis.SystemConfiguration(ds)) },
+		"table2": func() string {
+			r := analysis.KeywordInference(ds, exp.DropWords())
+			return report.Table2(r.TopSearched(10), r.TopCorpus(10))
+		},
+		"cases": func() string {
+			drafts := 0
+			for _, a := range ds.Actions {
+				if a.Kind == analysis.ActionDraft {
+					drafts++
+				}
+			}
+			return fmt.Sprintf("Case studies (§4.7)\nblackmail sessions: %d\ndraft copies captured: %d\nforum inquiries: %d\n",
+				exp.Engine().Blackmailers(), drafts, len(exp.Registry().AllInquiries()))
+		},
+		"sophistication": func() string {
+			return report.Sophistication(
+				analysis.SystemConfiguration(ds),
+				analysis.LocationSignificance(ds, *resamples, *seed))
+		},
+	}
+	order := []string{
+		"overview", "table1", "fig1", "fig2", "fig3", "fig4",
+		"sysconfig", "fig5a", "fig5b", "cvm", "table2", "cases", "sophistication",
+	}
+
+	want := strings.ToLower(*experiment)
+	if want == "all" {
+		for _, id := range order {
+			fmt.Printf("===== %s =====\n%s\n", id, sections[id]())
+		}
+		return
+	}
+	section, ok := sections[want]
+	if !ok {
+		log.Fatalf("unknown experiment %q (have: %s, all)", want, strings.Join(order, ", "))
+	}
+	fmt.Println(section())
+}

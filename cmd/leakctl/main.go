@@ -1,0 +1,89 @@
+// Command leakctl simulates leaking a batch of credentials to an
+// outlet and reports the pickup schedule and any forum inquiries —
+// useful for exploring outlet dynamics without a full deployment.
+//
+// Usage:
+//
+//	leakctl [-outlet name] [-n N] [-days N] [-seed N]
+//
+// Outlets: the names in outlets.DefaultSites (pastebin.example,
+// hackforums.example, paste-ru-1.example, ...).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/outlets"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+func main() {
+	var (
+		outlet = flag.String("outlet", "pastebin.example", "outlet to leak on")
+		n      = flag.Int("n", 20, "number of credentials to leak")
+		days   = flag.Int("days", 210, "days to simulate after the leak")
+		seed   = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	clock := simtime.NewClock(time.Date(2015, 6, 25, 0, 0, 0, 0, time.UTC))
+	sched := simtime.NewScheduler(clock)
+	reg := outlets.NewRegistry(outlets.DefaultSites(), sched, rng.New(*seed))
+	o, ok := reg.Get(*outlet)
+	if !ok {
+		var names []string
+		for _, s := range outlets.DefaultSites() {
+			names = append(names, s.Name)
+		}
+		sort.Strings(names)
+		log.Fatalf("unknown outlet %q; have %v", *outlet, names)
+	}
+
+	creds := make([]outlets.Credential, *n)
+	for i := range creds {
+		creds[i] = outlets.Credential{
+			Account:  fmt.Sprintf("honey%03d@honeymail.example", i),
+			Password: fmt.Sprintf("hp-%06d", i),
+		}
+	}
+
+	var mu sync.Mutex
+	byAccount := map[string][]float64{}
+	scheduled := o.Post(creds, func(p outlets.Pickup) {
+		mu.Lock()
+		defer mu.Unlock()
+		d := p.At.Sub(p.PostedAt).Hours() / 24
+		byAccount[p.Credential.Account] = append(byAccount[p.Credential.Account], d)
+	})
+	fmt.Printf("posted %d credentials on %s; %d pickups scheduled\n", *n, *outlet, scheduled)
+
+	sched.RunFor(time.Duration(*days) * 24 * time.Hour)
+
+	accounts := make([]string, 0, len(byAccount))
+	for a := range byAccount {
+		accounts = append(accounts, a)
+	}
+	sort.Strings(accounts)
+	fmt.Println("\npickup days per credential:")
+	for _, a := range accounts {
+		fmt.Printf("  %s:", a)
+		for _, d := range byAccount[a] {
+			fmt.Printf(" %.1f", d)
+		}
+		fmt.Println()
+	}
+	untouched := *n - len(byAccount)
+	fmt.Printf("\ncredentials never picked up: %d of %d\n", untouched, *n)
+	if inq := o.Inquiries(); len(inq) > 0 {
+		fmt.Printf("buyer inquiries received: %d\n", len(inq))
+		for _, q := range inq {
+			fmt.Printf("  day %.1f  %s: %s\n", q.At.Sub(clock.Now().Add(-time.Duration(*days)*24*time.Hour)).Hours()/24, q.From, q.Message)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Command sinkholed runs the sinkhole mailserver standalone: it
+// accepts SMTP-subset sessions on a TCP port, stores every message,
+// forwards nothing, and prints each capture to stdout.
+//
+// Usage:
+//
+//	sinkholed [-addr host:port]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/sinkhole"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:2525", "listen address")
+	flag.Parse()
+
+	store := sinkhole.NewStore(time.Now)
+	srv := sinkhole.NewServer(store)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sinkholed listening on", bound)
+
+	// Poll the store and echo new captures.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	seen := 0
+	ticker := time.NewTicker(500 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			all := store.All()
+			for ; seen < len(all); seen++ {
+				m := all[seen]
+				fmt.Printf("captured %s -> %s %q (%d bytes)\n", m.From, m.To, m.Subject, len(m.Body))
+			}
+		case <-stop:
+			fmt.Printf("shutting down; %d messages captured, 0 delivered\n", store.Count())
+			srv.Close()
+			return
+		}
+	}
+}

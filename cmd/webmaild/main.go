@@ -1,0 +1,69 @@
+// Command webmaild serves the webmail platform over TCP with a set of
+// demo honey accounts, for driving with the wire protocol (see
+// examples/live-servers for a scripted client).
+//
+// Usage:
+//
+//	webmaild [-addr host:port] [-accounts N] [-mailbox N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+	"repro/internal/webmail"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8025", "listen address")
+		accounts = flag.Int("accounts", 10, "demo honey accounts to create")
+		mailbox  = flag.Int("mailbox", 40, "seeded messages per account")
+		seed     = flag.Int64("seed", 1, "content seed")
+	)
+	flag.Parse()
+
+	clock := simtime.NewClock(time.Date(2015, 6, 25, 0, 0, 0, 0, time.UTC))
+	svc := webmail.NewService(webmail.Config{Clock: clock})
+
+	src := rng.New(*seed)
+	personas := corpus.NewPersonas(src.ForkNamed("personas"), *accounts, "honeymail.example")
+	gen := corpus.NewGenerator(src.ForkNamed("corpus"), corpus.DefaultConfig())
+	start := clock.Now().Add(-120 * 24 * time.Hour)
+	for i, p := range personas {
+		password := fmt.Sprintf("hp-%04d", i)
+		if err := svc.CreateAccount(p.Email, password, p.FullName()); err != nil {
+			log.Fatal(err)
+		}
+		for _, m := range gen.Mailbox(p, *mailbox, start, clock.Now()) {
+			folder := webmail.FolderInbox
+			if m.From == p.Email {
+				folder = webmail.FolderSent
+			}
+			if _, err := svc.Seed(p.Email, folder, m.From, m.To, m.Subject, m.Body, m.Date); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("account %-45s password %s\n", p.Email, password)
+	}
+
+	srv := webmail.NewServer(svc)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("webmaild listening on", bound)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	<-stop
+	fmt.Println("shutting down")
+	srv.Close()
+}

@@ -1,0 +1,47 @@
+// Location evasion (§4.5 / Figure 5): leak two paste-site groups — one
+// advertising a decoy owner near London, one with bare credentials —
+// plus the same pair on forums, then measure median login distances
+// from the midpoints and test significance with the two-sample
+// Cramér–von Mises test.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/honeynet"
+	"repro/internal/report"
+)
+
+func main() {
+	exp, err := honeynet.New(honeynet.Config{
+		Seed: 11,
+		Plan: []honeynet.GroupSpec{
+			{ID: 1, Count: 10, Channel: analysis.OutletPaste, Hint: analysis.HintNone, Label: "paste, no location"},
+			{ID: 2, Count: 10, Channel: analysis.OutletPaste, Hint: analysis.HintUK, Label: "paste, UK decoy"},
+			{ID: 2, Count: 10, Channel: analysis.OutletPaste, Hint: analysis.HintUS, Label: "paste, US decoy"},
+			{ID: 3, Count: 10, Channel: analysis.OutletForum, Hint: analysis.HintNone, Label: "forum, no location"},
+			{ID: 4, Count: 10, Channel: analysis.OutletForum, Hint: analysis.HintUK, Label: "forum, UK decoy"},
+			{ID: 4, Count: 10, Channel: analysis.OutletForum, Hint: analysis.HintUS, Label: "forum, US decoy"},
+		},
+		Duration:       150 * 24 * time.Hour,
+		MailboxSize:    30,
+		ScanInterval:   time.Hour,
+		ScrapeInterval: 3 * time.Hour,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := exp.RunAll(); err != nil {
+		log.Fatal(err)
+	}
+
+	ds := exp.Dataset()
+	fmt.Println(report.Figure5("UK/London", analysis.MedianRadii(ds, analysis.HintUK)))
+	fmt.Println(report.Figure5("US/Pontiac", analysis.MedianRadii(ds, analysis.HintUS)))
+	fmt.Println(report.Significance(analysis.LocationSignificance(ds, 2000, 42)))
+	fmt.Println("Paper shape: paste criminals connect nearer the advertised midpoint")
+	fmt.Println("(CvM rejects equality); forum criminals barely react (CvM keeps the null).")
+}

@@ -1,0 +1,260 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/geo"
+)
+
+// Location analysis of §4.5 / Figure 5: distances between login
+// origins and the advertised decoy midpoints, median radii per leak
+// group, and the Cramér–von Mises comparisons.
+
+// GroupKey identifies one comparison group of Figure 5: an outlet
+// family with or without an advertised location.
+type GroupKey struct {
+	Outlet Outlet
+	Hint   Hint
+}
+
+// DistanceVectors extracts, per group, the distances (km) from each
+// geolocated access to the midpoint for the given region. Only
+// accesses with geolocation participate (Tor/proxy accesses cannot be
+// placed, §4.5); outlets other than paste and forum are skipped, as in
+// the paper (malware accesses were almost all Tor).
+func DistanceVectors(ds *Dataset, region Hint) map[GroupKey][]float64 {
+	var mid geo.Point
+	switch region {
+	case HintUK:
+		mid = geo.LondonMidpoint
+	case HintUS:
+		mid = geo.PontiacMidpoint
+	default:
+		panic("analysis: DistanceVectors requires HintUK or HintUS")
+	}
+	out := make(map[GroupKey][]float64)
+	for _, a := range ds.Accesses {
+		if !a.HasPoint {
+			continue
+		}
+		var outlet Outlet
+		switch a.Outlet {
+		case OutletPaste, OutletPasteRussian:
+			outlet = OutletPaste
+		case OutletForum:
+			outlet = OutletForum
+		default:
+			continue
+		}
+		// Groups compared for region R: accounts advertised with R's
+		// location, and accounts leaked with no location information.
+		if a.Hint != region && a.Hint != HintNone {
+			continue
+		}
+		key := GroupKey{Outlet: outlet, Hint: a.Hint}
+		out[key] = append(out[key], geo.HaversineKm(a.Point, mid))
+	}
+	for _, v := range out {
+		sort.Float64s(v)
+	}
+	return out
+}
+
+// RadiusRow is one circle of Figure 5.
+type RadiusRow struct {
+	Group    GroupKey
+	N        int
+	MedianKm float64
+}
+
+// MedianRadii computes Figure 5's circle radii for one region.
+func MedianRadii(ds *Dataset, region Hint) []RadiusRow {
+	vectors := DistanceVectors(ds, region)
+	keys := make([]GroupKey, 0, len(vectors))
+	for k := range vectors {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Outlet != keys[j].Outlet {
+			return keys[i].Outlet < keys[j].Outlet
+		}
+		return keys[i].Hint < keys[j].Hint
+	})
+	var out []RadiusRow
+	for _, k := range keys {
+		v := vectors[k]
+		if len(v) == 0 {
+			continue
+		}
+		med := v[len(v)/2]
+		if len(v)%2 == 0 {
+			med = (v[len(v)/2-1] + v[len(v)/2]) / 2
+		}
+		out = append(out, RadiusRow{Group: k, N: len(v), MedianKm: med})
+	}
+	return out
+}
+
+// SignificanceRow is one CvM comparison of §4.5: hint vs no-hint for
+// one outlet family in one region.
+type SignificanceRow struct {
+	Outlet Outlet
+	Region Hint
+	Result CvMResult
+	NHint  int
+	NPlain int
+}
+
+// LocationSignificance runs the paper's four tests (paste UK, paste
+// US, forum UK, forum US). Pairs with an empty side are skipped.
+func LocationSignificance(ds *Dataset, resamples int, seed int64) []SignificanceRow {
+	var out []SignificanceRow
+	for _, region := range []Hint{HintUK, HintUS} {
+		vectors := DistanceVectors(ds, region)
+		for _, outlet := range []Outlet{OutletPaste, OutletForum} {
+			withHint := vectors[GroupKey{Outlet: outlet, Hint: region}]
+			plain := vectors[GroupKey{Outlet: outlet, Hint: HintNone}]
+			if len(withHint) == 0 || len(plain) == 0 {
+				continue
+			}
+			res := CvMTest(withHint, plain, resamples, seed)
+			out = append(out, SignificanceRow{
+				Outlet: outlet, Region: region, Result: res,
+				NHint: len(withHint), NPlain: len(plain),
+			})
+		}
+	}
+	return out
+}
+
+// ConfigRow summarises the §4.4 system-configuration observations for
+// one outlet.
+type ConfigRow struct {
+	Outlet       Outlet
+	Accesses     int
+	EmptyUA      int
+	Android      int
+	Desktop      int
+	BrowserNames map[string]int
+}
+
+// SystemConfiguration breaks accesses down by fingerprint per outlet.
+func SystemConfiguration(ds *Dataset) []ConfigRow {
+	rows := make(map[Outlet]*ConfigRow)
+	for _, a := range ds.Accesses {
+		r, ok := rows[a.Outlet]
+		if !ok {
+			r = &ConfigRow{Outlet: a.Outlet, BrowserNames: make(map[string]int)}
+			rows[a.Outlet] = r
+		}
+		r.Accesses++
+		browser, device := classifyUA(a.UserAgent)
+		switch {
+		case a.UserAgent == "":
+			r.EmptyUA++
+		case device == "android":
+			r.Android++
+		default:
+			r.Desktop++
+		}
+		r.BrowserNames[browser]++
+	}
+	keys := make([]Outlet, 0, len(rows))
+	for k := range rows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]ConfigRow, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, *rows[k])
+	}
+	return out
+}
+
+// classifyUA mirrors netsim's fingerprinting without importing it
+// (analysis depends only on observables, not on the simulator).
+func classifyUA(ua string) (browser, device string) {
+	if ua == "" {
+		return "unknown", "unknown"
+	}
+	has := func(sub string) bool {
+		for i := 0; i+len(sub) <= len(ua); i++ {
+			if ua[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	}
+	switch {
+	case has("Android"):
+		return "android", "android"
+	case has("Opera"):
+		return "opera", "desktop"
+	case has("Firefox"):
+		return "firefox", "desktop"
+	case has("Trident") || has("MSIE"):
+		return "ie", "desktop"
+	case has("Chrome"):
+		return "chrome", "desktop"
+	case has("Safari"):
+		return "safari", "desktop"
+	default:
+		return "unknown", "desktop"
+	}
+}
+
+// Overview reproduces the §4.1/§4.5 headline numbers.
+type Overview struct {
+	UniqueAccesses    int
+	EmailsRead        int
+	EmailsSent        int
+	UniqueDrafts      int
+	SuspendedAccounts int
+	Countries         int
+	WithLocation      int
+	WithoutLocation   int
+	BlacklistedIPs    int
+}
+
+// Summarize computes the overview from a dataset.
+func Summarize(ds *Dataset) Overview {
+	o := Overview{
+		UniqueAccesses:    len(ds.Accesses),
+		SuspendedAccounts: ds.SuspendedAccounts,
+	}
+	countries := make(map[string]bool)
+	for _, a := range ds.Accesses {
+		if a.HasPoint {
+			o.WithLocation++
+			if a.Country != "" {
+				countries[a.Country] = true
+			}
+		} else {
+			o.WithoutLocation++
+		}
+		if ds.Blacklisted[a.IP] {
+			o.BlacklistedIPs++
+		}
+	}
+	o.Countries = len(countries)
+	drafts := make(map[string]map[int64]bool)
+	for _, act := range ds.Actions {
+		switch act.Kind {
+		case ActionRead:
+			o.EmailsRead++
+		case ActionSent:
+			o.EmailsSent++
+		case ActionDraft:
+			m, ok := drafts[act.Account]
+			if !ok {
+				m = make(map[int64]bool)
+				drafts[act.Account] = m
+			}
+			m[act.Message] = true
+		}
+	}
+	for _, m := range drafts {
+		o.UniqueDrafts += len(m)
+	}
+	return o
+}

@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"sort"
+	"time"
+)
+
+// Class is the taxonomy of §4.2, as inferred from monitoring data.
+type Class uint8
+
+const (
+	// Curious accesses log in and do nothing else.
+	Curious Class = 1 << iota
+	// GoldDigger accesses read mailbox content (the observable
+	// footprint of searching for sensitive information).
+	GoldDigger
+	// Spammer accesses send email.
+	Spammer
+	// Hijacker accesses change the account password.
+	Hijacker
+)
+
+// Has reports whether c includes x.
+func (c Class) Has(x Class) bool { return c&x != 0 }
+
+// String lists the classes.
+func (c Class) String() string {
+	if c == 0 || c == Curious {
+		return "curious"
+	}
+	out := ""
+	add := func(s string) {
+		if out != "" {
+			out += "+"
+		}
+		out += s
+	}
+	if c.Has(GoldDigger) {
+		add("gold-digger")
+	}
+	if c.Has(Spammer) {
+		add("spammer")
+	}
+	if c.Has(Hijacker) {
+		add("hijacker")
+	}
+	return out
+}
+
+// Classified pairs an access with its inferred classes.
+type Classified struct {
+	Access  Access
+	Classes Class
+}
+
+// ClassifyOptions tunes attribution.
+type ClassifyOptions struct {
+	// Slack extends each access window to absorb the scan-trigger
+	// delay: a notification can arrive up to one scan interval after
+	// the action. Zero selects 10 minutes (the paper's scan cadence).
+	Slack time.Duration
+}
+
+// Classify attributes actions and password changes to accesses and
+// derives each access's taxonomy classes.
+//
+// Attribution is by time window: an action on account A at time t
+// belongs to the accesses of A whose [First, Last+Slack] window
+// contains t. If no window matches (e.g. the scraper lost the account
+// before the action), the action attaches to the account's access
+// with the latest Last before t — the best the paper's pipeline could
+// do after a hijack froze the activity page.
+func Classify(ds *Dataset, opts ClassifyOptions) []Classified {
+	if opts.Slack <= 0 {
+		opts.Slack = 10 * time.Minute
+	}
+	byAccount := make(map[string][]*Classified)
+	out := make([]Classified, len(ds.Accesses))
+	for i, a := range ds.Accesses {
+		out[i] = Classified{Access: a, Classes: Curious}
+		byAccount[a.Account] = append(byAccount[a.Account], &out[i])
+	}
+
+	attribute := func(account string, t time.Time, apply func(*Classified)) {
+		// Among accesses whose [First, Last+Slack] window contains t,
+		// the most recently started one is the most plausible actor;
+		// concurrent lurkers should not inherit the action.
+		var match *Classified
+		for _, c := range byAccount[account] {
+			if t.Before(c.Access.First) || t.After(c.Access.Last.Add(opts.Slack)) {
+				continue
+			}
+			if match == nil || c.Access.First.After(match.Access.First) {
+				match = c
+			}
+		}
+		if match != nil {
+			apply(match)
+			return
+		}
+		// Fallback: latest access that started before t (the activity
+		// page may have frozen before the action, §4.2).
+		var best *Classified
+		for _, c := range byAccount[account] {
+			if c.Access.First.After(t) {
+				continue
+			}
+			if best == nil || c.Access.Last.After(best.Access.Last) {
+				best = c
+			}
+		}
+		if best != nil {
+			apply(best)
+		}
+	}
+
+	for _, act := range ds.Actions {
+		act := act
+		switch act.Kind {
+		case ActionRead, ActionDraft:
+			attribute(act.Account, act.Time, func(c *Classified) { c.Classes |= GoldDigger })
+		case ActionSent:
+			attribute(act.Account, act.Time, func(c *Classified) { c.Classes |= Spammer })
+		case ActionStarred:
+			attribute(act.Account, act.Time, func(c *Classified) { c.Classes |= GoldDigger })
+		}
+	}
+	for _, pc := range ds.PasswordChanges {
+		attribute(pc.Account, pc.Time, func(c *Classified) { c.Classes |= Hijacker })
+	}
+	return out
+}
+
+// ClassCounts tallies accesses per class; overlapping classes count in
+// each bucket, mirroring §4.2's non-exclusive totals (224 curious, 82
+// gold diggers, 8 spammers, 36 hijackers in the paper).
+type ClassCounts struct {
+	Total      int
+	Curious    int
+	GoldDigger int
+	Spammer    int
+	Hijacker   int
+}
+
+// CountClasses summarises a classification.
+func CountClasses(cs []Classified) ClassCounts {
+	out := ClassCounts{Total: len(cs)}
+	for _, c := range cs {
+		switch {
+		case c.Classes == Curious || c.Classes == 0:
+			out.Curious++
+		default:
+			if c.Classes.Has(GoldDigger) {
+				out.GoldDigger++
+			}
+			if c.Classes.Has(Spammer) {
+				out.Spammer++
+			}
+			if c.Classes.Has(Hijacker) {
+				out.Hijacker++
+			}
+		}
+	}
+	return out
+}
+
+// ByOutlet buckets classifications per outlet (Figure 2's x-axis).
+func ByOutlet(cs []Classified) map[Outlet]ClassCounts {
+	grouped := make(map[Outlet][]Classified)
+	for _, c := range cs {
+		grouped[c.Access.Outlet] = append(grouped[c.Access.Outlet], c)
+	}
+	out := make(map[Outlet]ClassCounts, len(grouped))
+	for o, list := range grouped {
+		out[o] = CountClasses(list)
+	}
+	return out
+}
+
+// DurationsByClass extracts access durations (in hours) per taxonomy
+// class — the series of Figure 1. Overlapping classes contribute to
+// every class they hold.
+func DurationsByClass(cs []Classified) map[string][]float64 {
+	out := make(map[string][]float64)
+	add := func(key string, c Classified) {
+		out[key] = append(out[key], c.Access.Duration().Hours())
+	}
+	for _, c := range cs {
+		if c.Classes == Curious || c.Classes == 0 {
+			add("curious", c)
+			continue
+		}
+		if c.Classes.Has(GoldDigger) {
+			add("gold-digger", c)
+		}
+		if c.Classes.Has(Spammer) {
+			add("spammer", c)
+		}
+		if c.Classes.Has(Hijacker) {
+			add("hijacker", c)
+		}
+	}
+	return out
+}
+
+// TimeToFirstAccess computes, per outlet, the days between an
+// account's leak and each access's first observation — Figure 3's
+// series (unique accesses, not just first per account, matching the
+// paper's CDF over unique accesses).
+func TimeToFirstAccess(ds *Dataset) map[Outlet][]float64 {
+	out := make(map[Outlet][]float64)
+	for _, a := range ds.Accesses {
+		days := a.First.Sub(a.LeakTime).Hours() / 24
+		if days < 0 {
+			continue
+		}
+		out[a.Outlet] = append(out[a.Outlet], days)
+	}
+	for _, v := range out {
+		sort.Float64s(v)
+	}
+	return out
+}
+
+// AccessTimeline returns (day-offset, outlet) points for every unique
+// access — Figure 4's scatter series.
+type TimelinePoint struct {
+	Outlet Outlet
+	Days   float64
+}
+
+// Timeline extracts Figure 4's points ordered by time.
+func Timeline(ds *Dataset) []TimelinePoint {
+	var out []TimelinePoint
+	for _, a := range ds.Accesses {
+		out = append(out, TimelinePoint{Outlet: a.Outlet, Days: a.First.Sub(a.LeakTime).Hours() / 24})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Days < out[j].Days })
+	return out
+}

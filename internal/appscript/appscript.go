@@ -1,0 +1,312 @@
+// Package appscript reimplements the instrumentation layer the paper
+// builds with Google Apps Script (§3.1): per-account scripts, hidden
+// inside an innocuous spreadsheet, that wake on time-based triggers,
+// diff the mailbox, and report activity by sending notifications to a
+// dedicated collector account.
+//
+// Faithful behaviours:
+//
+//   - A scan trigger fires every 10 minutes and reports newly read,
+//     sent, and starred emails, plus full copies of created or edited
+//     drafts.
+//   - A heartbeat notification is sent once a day so the researchers
+//     can tell a quiet account from a blocked one.
+//   - Scripts keep running after hijackers change the account password
+//     and even after Google suspends the account (§4.2) — triggers are
+//     server-side, not session-bound.
+//   - Scripts are hidden but not invisible: an attacker who looks for
+//     them can delete them (§5 "Limitations"), after which monitoring
+//     of that account goes dark.
+//   - Heavy scripts draw quota notices ("using too much computer
+//     time") delivered INTO the account inbox, which real attackers
+//     read during the study (§4.7).
+package appscript
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/simtime"
+	"repro/internal/webmail"
+)
+
+// NotificationKind labels what a script observed.
+type NotificationKind int
+
+const (
+	NoteRead NotificationKind = iota
+	NoteSent
+	NoteStarred
+	NoteDraft
+	NoteHeartbeat
+	NoteQuota
+)
+
+// String returns the label used in collector storage.
+func (k NotificationKind) String() string {
+	switch k {
+	case NoteRead:
+		return "read"
+	case NoteSent:
+		return "sent"
+	case NoteStarred:
+		return "starred"
+	case NoteDraft:
+		return "draft"
+	case NoteHeartbeat:
+		return "heartbeat"
+	case NoteQuota:
+		return "quota"
+	default:
+		return fmt.Sprintf("note(%d)", int(k))
+	}
+}
+
+// Notification is one report from a honey account's script.
+type Notification struct {
+	Time    time.Time
+	Account string
+	Kind    NotificationKind
+	Message webmail.MessageID // 0 for heartbeat/quota
+	Body    string            // draft copy for NoteDraft
+}
+
+// Notifier receives script notifications; the monitor's collector
+// implements it (the paper's "dedicated webmail account").
+type Notifier interface {
+	Notify(n Notification)
+}
+
+// NotifierFunc adapts a function to Notifier.
+type NotifierFunc func(Notification)
+
+// Notify implements Notifier.
+func (f NotifierFunc) Notify(n Notification) { f(n) }
+
+// Options configures one installed script.
+type Options struct {
+	// ScanInterval is the mailbox diff cadence; the paper scans every
+	// 10 minutes. Zero selects 10 minutes.
+	ScanInterval time.Duration
+	// HeartbeatInterval is the liveness cadence; the paper sends one a
+	// day. Zero selects 24 hours.
+	HeartbeatInterval time.Duration
+	// Hidden marks the script as tucked away in a spreadsheet. Visible
+	// scripts are trivially found by any attacker who looks.
+	Hidden bool
+	// QuotaScans, when positive, delivers a quota notice into the
+	// account inbox after this many scans have run. The paper's two
+	// quota notices arrived because the scripts used "too much
+	// computer time".
+	QuotaScans int
+}
+
+func (o Options) withDefaults() Options {
+	if o.ScanInterval <= 0 {
+		o.ScanInterval = 10 * time.Minute
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 24 * time.Hour
+	}
+	return o
+}
+
+// script is one installed instance.
+type script struct {
+	account string
+	opts    Options
+
+	stopScan    func()
+	stopBeat    func()
+	lastSnap    webmail.Snapshot
+	lastVersion uint64
+	scanCount   int
+	quotaSent   bool
+	deleted     bool
+}
+
+// Runtime owns all installed scripts on a platform.
+type Runtime struct {
+	mu      sync.Mutex
+	svc     *webmail.Service
+	sched   *simtime.Scheduler
+	sink    Notifier
+	scripts map[string]*script
+
+	quotaSender string // From: address on quota notices
+}
+
+// NewRuntime wires the script engine to a platform and scheduler.
+// Notifications go to sink.
+func NewRuntime(svc *webmail.Service, sched *simtime.Scheduler, sink Notifier) *Runtime {
+	if svc == nil || sched == nil || sink == nil {
+		panic("appscript: NewRuntime requires service, scheduler and notifier")
+	}
+	return &Runtime{
+		svc:         svc,
+		sched:       sched,
+		sink:        sink,
+		scripts:     make(map[string]*script),
+		quotaSender: "apps-script-notifications@platform.example",
+	}
+}
+
+// Install attaches a script to an account and starts its triggers.
+// Installing over an existing script replaces it.
+func (r *Runtime) Install(account string, opts Options) error {
+	snap, err := r.svc.Snapshot(account)
+	if err != nil {
+		return fmt.Errorf("appscript: install on %s: %w", account, err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.scripts[account]; ok {
+		old.stopScan()
+		old.stopBeat()
+	}
+	sc := &script{account: account, opts: opts.withDefaults(), lastSnap: snap}
+	sc.stopScan = r.sched.Every(sc.opts.ScanInterval, "appscript-scan:"+account, func(now time.Time) {
+		r.scan(sc, now)
+	})
+	sc.stopBeat = r.sched.Every(sc.opts.HeartbeatInterval, "appscript-heartbeat:"+account, func(now time.Time) {
+		r.heartbeat(sc, now)
+	})
+	r.scripts[account] = sc
+	return nil
+}
+
+// Uninstall stops and removes an account's script (used when an
+// attacker finds and deletes it).
+func (r *Runtime) Uninstall(account string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sc, ok := r.scripts[account]
+	if !ok {
+		return false
+	}
+	sc.deleted = true
+	sc.stopScan()
+	sc.stopBeat()
+	delete(r.scripts, account)
+	return true
+}
+
+// Installed reports whether an account still has a live script.
+func (r *Runtime) Installed(account string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.scripts[account]
+	return ok
+}
+
+// Discoverable reports whether an attacker inspecting the account
+// would find the script: visible scripts always, hidden ones never in
+// this model (the paper judged the spreadsheet hiding spot "unlikely"
+// to be found; the ablation bench flips Hidden off to quantify the
+// design choice).
+func (r *Runtime) Discoverable(account string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sc, ok := r.scripts[account]
+	return ok && !sc.opts.Hidden
+}
+
+// scan diffs the mailbox against the previous snapshot and reports
+// changes, mirroring the paper's 10-minute scan function. Quiet
+// accounts are skipped via a cheap version check so months of idle
+// scans cost almost nothing.
+func (r *Runtime) scan(sc *script, now time.Time) {
+	r.mu.Lock()
+	if sc.deleted {
+		r.mu.Unlock()
+		return
+	}
+	prev := sc.lastSnap
+	lastVersion := sc.lastVersion
+	r.mu.Unlock()
+
+	version := r.svc.Version(sc.account)
+	if version == lastVersion && (sc.opts.QuotaScans <= 0 || sc.quotaSent) {
+		return
+	}
+
+	snap, err := r.svc.Snapshot(sc.account)
+	if err != nil {
+		return // account deleted from platform; nothing to report
+	}
+
+	notify := func(kind NotificationKind, id webmail.MessageID, body string) {
+		r.sink.Notify(Notification{Time: now, Account: sc.account, Kind: kind, Message: id, Body: body})
+	}
+	for _, id := range diffIDs(prev.Read, snap.Read) {
+		notify(NoteRead, id, "")
+	}
+	for _, id := range diffIDs(prev.Starred, snap.Starred) {
+		notify(NoteStarred, id, "")
+	}
+	for _, id := range diffIDs(prev.Sent, snap.Sent) {
+		notify(NoteSent, id, "")
+	}
+	draftIDs := make([]webmail.MessageID, 0, len(snap.Drafts))
+	for id := range snap.Drafts {
+		draftIDs = append(draftIDs, id)
+	}
+	sort.Slice(draftIDs, func(i, j int) bool { return draftIDs[i] < draftIDs[j] })
+	for _, id := range draftIDs {
+		body := snap.Drafts[id]
+		if old, ok := prev.Drafts[id]; !ok || old != body {
+			notify(NoteDraft, id, body)
+		}
+	}
+
+	r.mu.Lock()
+	sc.lastSnap = snap
+	sc.lastVersion = version
+	sc.scanCount++
+	needQuota := sc.opts.QuotaScans > 0 && sc.scanCount >= sc.opts.QuotaScans && !sc.quotaSent
+	if needQuota {
+		sc.quotaSent = true
+	}
+	r.mu.Unlock()
+
+	if needQuota {
+		// Quota notices land in the monitored inbox itself, where
+		// attackers can (and did) read them (§4.7).
+		_, _ = r.svc.DeliverInbound(sc.account, r.quotaSender,
+			"Apps Script notice: excessive computer time",
+			"A script attached to this account is using too much computer time and has been throttled.")
+		r.sink.Notify(Notification{Time: now, Account: sc.account, Kind: NoteQuota})
+	}
+}
+
+// heartbeat emits the daily liveness signal.
+func (r *Runtime) heartbeat(sc *script, now time.Time) {
+	r.mu.Lock()
+	dead := sc.deleted
+	r.mu.Unlock()
+	if dead {
+		return
+	}
+	// A suspended account's scripts still run in the paper's
+	// observations, so the heartbeat keeps flowing; the monitor learns
+	// about suspension from scrape failures instead.
+	r.sink.Notify(Notification{Time: now, Account: sc.account, Kind: NoteHeartbeat})
+}
+
+// diffIDs returns the IDs present in cur but not prev (both sorted or
+// not; uses a set).
+func diffIDs(prev, cur []webmail.MessageID) []webmail.MessageID {
+	seen := make(map[webmail.MessageID]bool, len(prev))
+	for _, id := range prev {
+		seen[id] = true
+	}
+	var out []webmail.MessageID
+	for _, id := range cur {
+		if !seen[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}

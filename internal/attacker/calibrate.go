@@ -1,0 +1,178 @@
+package attacker
+
+import "repro/internal/netsim"
+
+// Population holds the generative parameters for the criminals who
+// obtain credentials from one outlet. Every number here targets a
+// measured marginal from the paper; the comment on each field cites
+// the observation it reproduces. Tests in this package assert the
+// resulting shapes, not exact counts.
+type Population struct {
+	// Class mix. Classes overlap (§4.2: "the taxonomy classes ... are
+	// not exclusive"); these are the probabilities that a spawned
+	// attacker exhibits each behaviour. Curious is the base state of
+	// every access — an attacker with no other class only checks the
+	// credentials.
+	GoldDiggerProb float64 // searches for sensitive information
+	HijackerProb   float64 // changes the account password
+	SpammerProb    float64 // sends unsolicited mail (implies gold digger or hijacker, §4.2)
+
+	// Network identity.
+	TorProb     float64 // connect via Tor exit (no geolocation)
+	ProxyProb   float64 // connect via open proxy (no geolocation)
+	EmptyUAProb float64 // hide the browser user agent
+	AndroidProb float64 // mobile access share (§4.4: paste/forums only)
+
+	// Location behaviour for geolocated (non-Tor/proxy) accesses.
+	// LocationMalleability is the probability that, when the leak
+	// advertised a decoy owner location, the criminal connects from a
+	// city near the advertised midpoint rather than from home (§4.5).
+	// The home-region mixture for non-malleable criminals is fixed in
+	// the engine (chooseCity).
+	LocationMalleability float64
+
+	// Session dynamics (Figure 1, §4.3).
+	ReturnProb     float64 // probability of coming back after the first visit
+	ReturnVisitsMu float64 // mean number of extra visits for returners
+	ReturnGapDays  float64 // mean gap between return visits
+	SessionMinutes float64 // typical single-session length (log-normal median)
+
+	// InfectedMachineProb is the chance a geolocated access originates
+	// from a malware-infected machine that appears on the Spamhaus
+	// blacklist (§4.5: 20 observed IPs were listed).
+	InfectedMachineProb float64
+
+	// TosViolationProb is the chance an attacker performs some other
+	// terms-of-service violation that gets the account suspended
+	// (beyond spam, which the abuse detector catches); together these
+	// drive the "42 accounts blocked" outcome of §4.1.
+	TosViolationProb float64
+
+	// Browsers used when the UA is not hidden.
+	Browsers []netsim.Browser
+}
+
+// PastePopulation: criminals harvesting public paste sites.
+//
+//   - 20% of paste accesses are hijackers (Figure 2).
+//   - Gold diggers present but fewer than on forums.
+//   - Mixed browsers, some Android (§4.4).
+//   - Strong location malleability: with an advertised location the
+//     median login distance drops 1784→1400 km (UK) and 7900→939 km
+//     (US) (Figure 5), and the Cramér–von Mises test rejects equality
+//     (§4.5). The US contrast is the sharpest in the paper, so
+//     malleable criminals land close to the midpoint.
+//   - 80% of visitors never come back (§4.3).
+var pastePopulation = Population{
+	GoldDiggerProb:       0.18,
+	HijackerProb:         0.20,
+	SpammerProb:          0.035,
+	TorProb:              0.32,
+	ProxyProb:            0.12,
+	EmptyUAProb:          0.05,
+	AndroidProb:          0.12,
+	LocationMalleability: 0.80,
+	ReturnProb:           0.20,
+	ReturnVisitsMu:       2.5,
+	ReturnGapDays:        2.0,
+	SessionMinutes:       4,
+	InfectedMachineProb:  0.10,
+	TosViolationProb:     0.13,
+	Browsers: []netsim.Browser{
+		netsim.BrowserChrome, netsim.BrowserFirefox, netsim.BrowserIE,
+		netsim.BrowserSafari, netsim.BrowserOpera,
+	},
+}
+
+// ForumPopulation: criminals browsing open underground forums for
+// free samples — "the lowest level of sophistication" (§1).
+//
+//   - Highest gold-digger share, about 30% of accesses (Figure 2).
+//   - Hijackers present (§4.2).
+//   - Little effort to hide: lower Tor/proxy rates, no location
+//     malleability to speak of — the forum CvM test cannot reject the
+//     null (§4.5, p≈0.27).
+var forumPopulation = Population{
+	GoldDiggerProb:       0.40,
+	HijackerProb:         0.13,
+	SpammerProb:          0.03,
+	TorProb:              0.22,
+	ProxyProb:            0.08,
+	EmptyUAProb:          0.04,
+	AndroidProb:          0.10,
+	LocationMalleability: 0.12,
+	ReturnProb:           0.20,
+	ReturnVisitsMu:       2.0,
+	ReturnGapDays:        2.5,
+	SessionMinutes:       5,
+	InfectedMachineProb:  0.10,
+	TosViolationProb:     0.11,
+	Browsers: []netsim.Browser{
+		netsim.BrowserChrome, netsim.BrowserFirefox, netsim.BrowserIE,
+		netsim.BrowserOpera,
+	},
+}
+
+// MalwarePopulation: botmasters operating information-stealing
+// malware — "the stealthiest" criminals (§4.2, §4.8).
+//
+//   - Never hijack, never spam (Figure 2): stealth preserves the
+//     resource.
+//   - Curious checks first; gold-digger assessments arrive with the
+//     aggregation/resale bursts (~day 30 / ~day 100, Figure 4).
+//   - All accesses but one via Tor; empty user agent throughout
+//     (§4.4, §4.5).
+//   - 80% of visitors DO come back (§4.3) — the botmaster re-checks
+//     that the stolen accounts are still alive.
+var malwarePopulation = Population{
+	GoldDiggerProb:       0.45,
+	HijackerProb:         0,
+	SpammerProb:          0,
+	TorProb:              1.0, // the single non-Tor access is forced by the engine
+	ProxyProb:            0,
+	EmptyUAProb:          1.0,
+	AndroidProb:          0,
+	LocationMalleability: 0,
+	ReturnProb:           0.80,
+	ReturnVisitsMu:       3.5,
+	ReturnGapDays:        4.0,
+	SessionMinutes:       3,
+	InfectedMachineProb:  0,
+	TosViolationProb:     0.05,
+	Browsers:             nil, // UA always empty
+}
+
+// goldKeywords are the searches gold diggers run when assessing an
+// account's worth: financial and credential terms (§4.6 confirms
+// attackers hunt "sensitive information, especially financial
+// information"). Terms overlapping the seed corpus ("transfer",
+// "payment", "account") surface real mail; the others surface
+// attacker-created content such as the blackmail drafts.
+var goldKeywords = []string{
+	"payment", "account", "transfer", "statement", "invoice",
+	"password", "bank", "wire", "salary", "confidential",
+	"bitcoin", "seller", "results", "family",
+}
+
+// spamSubjects/spamBodies are the bulk mail spammers push through
+// compromised accounts (all of it lands in the sinkhole).
+var spamSubjects = []string{
+	"Limited offer just for you",
+	"Your parcel could not be delivered",
+	"Re: outstanding balance",
+	"Exclusive pharmacy discounts inside",
+	"You have won - claim now",
+}
+
+var spamBodies = []string{
+	"Click the link to claim your reward before it expires.",
+	"We tried to deliver your package. Confirm your address here.",
+	"Your account shows an outstanding balance. Settle immediately.",
+	"Best prices, discreet shipping, no prescription needed.",
+}
+
+// victimDomains receive the spam/blackmail (everything is sinkholed;
+// the names exist only so recipient strings look plausible).
+var victimDomains = []string{
+	"victims.example", "contacts.example", "addressbook.example",
+}

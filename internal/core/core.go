@@ -1,0 +1,45 @@
+// Package core is the library's front door: it re-exports the
+// honeynet experiment API (the paper's primary contribution — the
+// honey-account deployment, instrumentation and monitoring framework)
+// so downstream users depend on one import path while the
+// implementation remains decomposed across internal packages.
+//
+// A minimal deployment:
+//
+//	exp, err := core.NewExperiment(core.Config{Seed: 42})
+//	if err != nil { ... }
+//	if err := exp.RunAll(); err != nil { ... }
+//	ds := exp.Dataset() // feed to the analysis package
+package core
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/honeynet"
+)
+
+// Config parameterises an experiment; see honeynet.Config.
+type Config = honeynet.Config
+
+// Experiment is a full honey-account deployment; see honeynet.Experiment.
+type Experiment = honeynet.Experiment
+
+// GroupSpec is one Table 1 block; see honeynet.GroupSpec.
+type GroupSpec = honeynet.GroupSpec
+
+// Assignment records the plan facts for one account.
+type Assignment = honeynet.Assignment
+
+// Dataset is the analysis-ready observation set.
+type Dataset = analysis.Dataset
+
+// NewExperiment constructs an experiment (Setup → Leak → Run, or
+// RunAll).
+func NewExperiment(cfg Config) (*Experiment, error) {
+	return honeynet.New(cfg)
+}
+
+// Table1Plan returns the paper's exact deployment plan.
+func Table1Plan() []GroupSpec { return honeynet.Table1Plan() }
+
+// PaperGroupLabel returns the paper's Table 1 wording for a group.
+func PaperGroupLabel(id int) string { return honeynet.PaperGroupLabel(id) }

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+)
+
+func TestFacadeRunsExperiment(t *testing.T) {
+	exp, err := NewExperiment(Config{
+		Seed: 3,
+		Plan: []GroupSpec{
+			{ID: 1, Count: 5, Channel: analysis.OutletPaste, Hint: analysis.HintNone, Label: "paste"},
+		},
+		Duration:       30 * 24 * time.Hour,
+		MailboxSize:    15,
+		ScanInterval:   time.Hour,
+		ScrapeInterval: 6 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	var ds *Dataset = exp.Dataset()
+	if ds == nil || len(ds.Contents) != 5 {
+		t.Fatalf("dataset = %+v", ds)
+	}
+}
+
+func TestFacadePlanHelpers(t *testing.T) {
+	if n := len(Table1Plan()); n == 0 {
+		t.Fatal("empty plan")
+	}
+	if PaperGroupLabel(5) == "" || PaperGroupLabel(99) == "" {
+		t.Fatal("labels must render for all ids")
+	}
+}

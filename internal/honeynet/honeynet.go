@@ -1,0 +1,447 @@
+// Package honeynet is the core of the reproduction: the end-to-end
+// honey-account experiment of the paper. It builds the webmail
+// platform, creates and seeds 100 honey accounts, instruments them
+// with scripts, wires the monitoring pipeline and sinkhole, leaks the
+// credentials per Table 1 (paste sites, underground forums,
+// information-stealing malware), runs seven months of virtual time,
+// and exports the dataset every analysis and figure is computed from.
+package honeynet
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/appscript"
+	"repro/internal/attacker"
+	"repro/internal/corpus"
+	"repro/internal/geo"
+	"repro/internal/malnet"
+	"repro/internal/monitor"
+	"repro/internal/netsim"
+	"repro/internal/outlets"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+	"repro/internal/sinkhole"
+	"repro/internal/webmail"
+)
+
+// Config parameterises an Experiment.
+type Config struct {
+	// Seed drives every stochastic choice; a fixed seed reproduces the
+	// entire run bit-for-bit.
+	Seed int64
+	// Plan is the deployment blueprint; nil selects Table1Plan.
+	Plan []GroupSpec
+	// Start is the leak date; zero selects the paper's 2015-06-25.
+	Start time.Time
+	// Duration is the observation window; zero selects the paper's
+	// 7 months (236 days, 2015-06-25 → 2016-02-16).
+	Duration time.Duration
+	// MailboxSize is the seeded message count per account; zero
+	// selects 90.
+	MailboxSize int
+	// ScanInterval is the Apps-Script scan cadence; zero selects the
+	// paper's 10 minutes.
+	ScanInterval time.Duration
+	// ScrapeInterval is the activity-page scraping cadence; zero
+	// selects 1 hour.
+	ScrapeInterval time.Duration
+	// HiddenScripts controls whether the monitoring scripts are tucked
+	// away (the paper's design). Defaults to true; the ablation bench
+	// sets it false.
+	VisibleScripts bool
+	// DisableCaseStudies skips the §4.7 scripted scenarios.
+	DisableCaseStudies bool
+	// LoginRisk forwards to the platform (paper: disabled on honey
+	// accounts; the ablation enables it).
+	LoginRisk webmail.LoginRiskConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.Plan == nil {
+		c.Plan = Table1Plan()
+	}
+	if c.Start.IsZero() {
+		c.Start = time.Date(2015, 6, 25, 0, 0, 0, 0, time.UTC)
+	}
+	if c.Duration <= 0 {
+		c.Duration = 236 * 24 * time.Hour
+	}
+	if c.MailboxSize <= 0 {
+		c.MailboxSize = 90
+	}
+	if c.ScanInterval <= 0 {
+		c.ScanInterval = 10 * time.Minute
+	}
+	if c.ScrapeInterval <= 0 {
+		c.ScrapeInterval = time.Hour
+	}
+	return c
+}
+
+// Experiment owns one full deployment.
+type Experiment struct {
+	cfg   Config
+	clock *simtime.Clock
+	sched *simtime.Scheduler
+	src   *rng.Source
+
+	gaz   *geo.Gazetteer
+	space *netsim.AddressSpace
+	bl    *netsim.Blacklist
+
+	svc     *webmail.Service
+	sink    *sinkhole.Store
+	runtime *appscript.Runtime
+	store   *monitor.Store
+	mon     *monitor.Monitor
+	reg     *outlets.Registry
+	sandbox *malnet.Sandbox
+	engine  *attacker.Engine
+
+	assignments []Assignment
+	leakTimes   map[string]time.Time
+	contents    map[string]map[int64]string
+	handles     []string // honey email local parts (TF-IDF drop list)
+
+	setupDone bool
+	leaked    bool
+}
+
+// New constructs an experiment; call Setup, Leak, then Run.
+func New(cfg Config) (*Experiment, error) {
+	cfg = cfg.withDefaults()
+	if err := ValidatePlan(cfg.Plan); err != nil {
+		return nil, err
+	}
+	clock := simtime.NewClock(cfg.Start)
+	sched := simtime.NewScheduler(clock)
+	src := rng.New(cfg.Seed)
+	gaz := geo.Default()
+	space := netsim.NewAddressSpace(src.ForkNamed("address-space"), gaz)
+	bl := netsim.NewBlacklist()
+	sink := sinkhole.NewStore(clock.Now)
+	svc := webmail.NewService(webmail.Config{
+		Clock:     clock,
+		Outbound:  sink,
+		LoginRisk: cfg.LoginRisk,
+	})
+	store := monitor.NewStore()
+	monEP, err := space.FromCity("London") // the researchers' city (§4.1 self-filter)
+	if err != nil {
+		return nil, fmt.Errorf("honeynet: monitor endpoint: %w", err)
+	}
+	e := &Experiment{
+		cfg:       cfg,
+		clock:     clock,
+		sched:     sched,
+		src:       src,
+		gaz:       gaz,
+		space:     space,
+		bl:        bl,
+		svc:       svc,
+		sink:      sink,
+		store:     store,
+		runtime:   appscript.NewRuntime(svc, sched, store),
+		reg:       outlets.NewRegistry(outlets.DefaultSites(), sched, src.ForkNamed("outlets")),
+		leakTimes: make(map[string]time.Time),
+		contents:  make(map[string]map[int64]string),
+	}
+	e.mon = monitor.New(monitor.Config{Service: svc, Scheduler: sched, Store: store, Endpoint: monEP})
+	e.engine = attacker.New(attacker.Config{
+		Service: svc, Scheduler: sched, Space: space,
+		Blacklist: bl, Gazetteer: gaz, Src: src.ForkNamed("attackers"),
+	})
+	e.sandbox = malnet.NewSandbox(malnet.SandboxConfig{}, sched, func(ex malnet.Exfiltration) {
+		e.engine.HandleExfil(ex)
+	})
+	return e, nil
+}
+
+// Accessors used by examples, benches and tests.
+func (e *Experiment) Service() *webmail.Service     { return e.svc }
+func (e *Experiment) Scheduler() *simtime.Scheduler { return e.sched }
+func (e *Experiment) Monitor() *monitor.Monitor     { return e.mon }
+func (e *Experiment) Sinkhole() *sinkhole.Store     { return e.sink }
+func (e *Experiment) Registry() *outlets.Registry   { return e.reg }
+func (e *Experiment) Engine() *attacker.Engine      { return e.engine }
+func (e *Experiment) Blacklist() *netsim.Blacklist  { return e.bl }
+func (e *Experiment) Assignments() []Assignment     { return append([]Assignment(nil), e.assignments...) }
+func (e *Experiment) Runtime() *appscript.Runtime   { return e.runtime }
+
+// Setup creates, seeds and instruments the honey accounts (§3.2
+// "Honey account setup"), and starts the monitoring pipeline.
+func (e *Experiment) Setup() error {
+	if e.setupDone {
+		return fmt.Errorf("honeynet: Setup called twice")
+	}
+	n := PlanAccounts(e.cfg.Plan)
+	personas := corpus.NewPersonas(e.src.ForkNamed("personas"), n, "honeymail.example")
+	gen := corpus.NewGenerator(e.src.ForkNamed("corpus"), corpus.DefaultConfig())
+
+	seedStart := e.cfg.Start.Add(-180 * 24 * time.Hour)
+	idx := 0
+	for _, g := range e.cfg.Plan {
+		for i := 0; i < g.Count; i++ {
+			p := personas[idx]
+			idx++
+			password := fmt.Sprintf("hp-%08x", e.src.Int63()&0xffffffff)
+			if err := e.svc.CreateAccount(p.Email, password, p.FullName()); err != nil {
+				return fmt.Errorf("honeynet: create %s: %w", p.Email, err)
+			}
+			// All outgoing honey mail diverts to the sinkhole domain.
+			if err := e.svc.SetSendFrom(p.Email, "capture@sinkhole.example"); err != nil {
+				return err
+			}
+			// Seed the Enron-style mailbox.
+			msgs := gen.Mailbox(p, e.cfg.MailboxSize, seedStart, e.cfg.Start)
+			e.contents[p.Email] = make(map[int64]string, len(msgs))
+			for _, m := range msgs {
+				folder := webmail.FolderInbox
+				if m.From == p.Email {
+					folder = webmail.FolderSent
+				}
+				id, err := e.svc.Seed(p.Email, folder, m.From, m.To, m.Subject, m.Body, m.Date)
+				if err != nil {
+					return err
+				}
+				e.contents[p.Email][int64(id)] = m.Subject + "\n" + m.Body
+			}
+			// Install the monitoring script.
+			opts := appscript.Options{
+				ScanInterval: e.cfg.ScanInterval,
+				Hidden:       !e.cfg.VisibleScripts,
+			}
+			if err := e.runtime.Install(p.Email, opts); err != nil {
+				return err
+			}
+			e.mon.Track(p.Email, password)
+			e.handles = append(e.handles, p.Handle())
+			e.assignments = append(e.assignments, Assignment{Account: p.Email, Password: password, Group: g})
+		}
+	}
+	e.mon.Start(e.cfg.ScrapeInterval)
+	e.setupDone = true
+	return nil
+}
+
+// Leak publishes every account's credentials through its group's
+// channel (§3.2 "Leaking account credentials") and schedules the case
+// studies.
+func (e *Experiment) Leak() error {
+	if !e.setupDone {
+		return fmt.Errorf("honeynet: Leak before Setup")
+	}
+	if e.leaked {
+		return fmt.Errorf("honeynet: Leak called twice")
+	}
+	now := e.clock.Now()
+
+	// Process blocks in plan order (stable), not map order: leak-time
+	// randomness must be reproducible for a given seed.
+	var malwareCreds []malnet.Credential
+	for _, block := range e.cfg.Plan {
+		var list []Assignment
+		for _, a := range e.assignments {
+			if a.Group == block {
+				list = append(list, a)
+			}
+		}
+		creds := make([]outlets.Credential, 0, len(list))
+		for _, a := range list {
+			cred := outlets.Credential{Account: a.Account, Password: a.Password}
+			if block.Hint != analysis.HintNone {
+				cred.Hint = e.hintFor(block.Hint)
+			}
+			creds = append(creds, cred)
+			e.leakTimes[a.Account] = now
+		}
+		switch block.Channel {
+		case analysis.OutletPaste:
+			e.spread(creds, e.reg.ByKind(outlets.KindPaste, false))
+		case analysis.OutletPasteRussian:
+			e.spread(creds, e.reg.ByKind(outlets.KindPaste, true))
+		case analysis.OutletForum:
+			e.spread(creds, e.reg.ByKind(outlets.KindForum, false))
+		case analysis.OutletMalware:
+			for _, c := range creds {
+				malwareCreds = append(malwareCreds, malnet.Credential{Account: c.Account, Password: c.Password})
+			}
+		}
+	}
+	if len(malwareCreds) > 0 {
+		samples := malnet.DefaultSamples(e.src.ForkNamed("samples"), 24)
+		e.sandbox.RunCampaign(samples, malwareCreds)
+	}
+	if !e.cfg.DisableCaseStudies {
+		e.scheduleCaseStudies()
+	}
+	e.leaked = true
+	return nil
+}
+
+// spread distributes credentials round-robin over the block's outlets.
+func (e *Experiment) spread(creds []outlets.Credential, sites []*outlets.Outlet) {
+	if len(sites) == 0 {
+		return
+	}
+	buckets := make([][]outlets.Credential, len(sites))
+	for i, c := range creds {
+		buckets[i%len(sites)] = append(buckets[i%len(sites)], c)
+	}
+	for i, o := range sites {
+		if len(buckets[i]) > 0 {
+			o.Post(buckets[i], e.engine.HandlePickup)
+		}
+	}
+}
+
+// hintFor builds the advertised decoy-location block for a region.
+func (e *Experiment) hintFor(h analysis.Hint) *outlets.LocationHint {
+	switch h {
+	case analysis.HintUK:
+		city := rng.Pick(e.src, e.gaz.InRegion(geo.RegionUK))
+		return &outlets.LocationHint{Region: "uk", Midpoint: geo.LondonMidpoint, City: city.Name}
+	case analysis.HintUS:
+		city := rng.Pick(e.src, e.gaz.InRegion(geo.RegionUSMidwest))
+		return &outlets.LocationHint{Region: "us", Midpoint: geo.PontiacMidpoint, City: city.Name}
+	default:
+		return nil
+	}
+}
+
+// scheduleCaseStudies wires the §4.7 scenarios onto concrete accounts:
+// blackmail on three paste-leaked accounts, quota notices on two
+// accounts (by reinstalling their scripts with a quota), and one
+// carding-forum registration.
+func (e *Experiment) scheduleCaseStudies() {
+	var pasteAccounts, forumAccounts []Assignment
+	for _, a := range e.assignments {
+		switch a.Group.Channel {
+		case analysis.OutletPaste:
+			pasteAccounts = append(pasteAccounts, a)
+		case analysis.OutletForum:
+			forumAccounts = append(forumAccounts, a)
+		}
+	}
+	now := e.clock.Now()
+	if len(pasteAccounts) >= 3 {
+		var targets []string
+		for _, a := range pasteAccounts[:3] {
+			targets = append(targets, a.Account)
+			e.engine.RegisterCredential(a.Account, a.Password)
+		}
+		e.engine.RunBlackmailCampaign(targets, now.Add(20*24*time.Hour))
+	}
+	if len(forumAccounts) >= 2 {
+		for i, a := range forumAccounts[:2] {
+			// Reinstall with a quota so the "too much computer time"
+			// notice lands in the inbox, then have an attacker read it.
+			e.runtime.Install(a.Account, appscript.Options{
+				ScanInterval: e.cfg.ScanInterval,
+				Hidden:       !e.cfg.VisibleScripts,
+				QuotaScans:   500 + 100*i,
+			})
+			e.engine.RegisterCredential(a.Account, a.Password)
+			e.engine.RunQuotaReader(a.Account, now.Add(time.Duration(40+10*i)*24*time.Hour))
+		}
+	}
+	if len(forumAccounts) >= 3 {
+		a := forumAccounts[2]
+		e.engine.RegisterCredential(a.Account, a.Password)
+		e.engine.RunCardingRegistration(a.Account, now.Add(55*24*time.Hour))
+	}
+}
+
+// Run advances the experiment to the end of the observation window.
+func (e *Experiment) Run() error {
+	if !e.leaked {
+		return fmt.Errorf("honeynet: Run before Leak")
+	}
+	e.sched.RunUntil(e.cfg.Start.Add(e.cfg.Duration))
+	return nil
+}
+
+// RunAll is Setup + Leak + Run.
+func (e *Experiment) RunAll() error {
+	if err := e.Setup(); err != nil {
+		return err
+	}
+	if err := e.Leak(); err != nil {
+		return err
+	}
+	return e.Run()
+}
+
+// Dataset exports the analysis-ready dataset from the monitoring
+// pipeline, annotated with the plan facts (outlet, hint, leak time).
+func (e *Experiment) Dataset() *analysis.Dataset {
+	planByAccount := make(map[string]GroupSpec, len(e.assignments))
+	for _, a := range e.assignments {
+		planByAccount[a.Account] = a.Group
+	}
+	ds := &analysis.Dataset{
+		Blacklisted:       make(map[string]bool),
+		SuspendedAccounts: e.svc.SuspendedCount(),
+		Contents:          e.contents,
+	}
+	for _, rec := range e.mon.Dataset() {
+		g := planByAccount[rec.Account]
+		a := analysis.Access{
+			Account:   rec.Account,
+			Cookie:    rec.Cookie,
+			First:     rec.First,
+			Last:      rec.Last,
+			Outlet:    g.Channel,
+			Hint:      g.Hint,
+			LeakTime:  e.leakTimes[rec.Account],
+			IP:        rec.IP,
+			City:      rec.City,
+			Country:   rec.Country,
+			HasPoint:  rec.HasPoint,
+			UserAgent: rec.UserAgent,
+		}
+		a.Point = geo.Point{Lat: rec.Lat, Lon: rec.Lon}
+		if _, listed := e.bl.LookupString(rec.IP); listed {
+			ds.Blacklisted[rec.IP] = true
+		}
+		ds.Accesses = append(ds.Accesses, a)
+	}
+	for _, n := range e.store.Notifications() {
+		var kind analysis.ActionKind
+		switch n.Kind {
+		case appscript.NoteRead:
+			kind = analysis.ActionRead
+		case appscript.NoteSent:
+			kind = analysis.ActionSent
+		case appscript.NoteStarred:
+			kind = analysis.ActionStarred
+		case appscript.NoteDraft:
+			kind = analysis.ActionDraft
+		default:
+			continue // heartbeats/quota are liveness, not actions
+		}
+		ds.Actions = append(ds.Actions, analysis.Action{
+			Time:    n.Time,
+			Account: n.Account,
+			Kind:    kind,
+			Message: int64(n.Message),
+			Body:    n.Body,
+		})
+	}
+	for _, f := range e.store.Failures() {
+		if f.Reason == "password-changed" {
+			ds.PasswordChanges = append(ds.PasswordChanges, analysis.PasswordChange{Account: f.Account, Time: f.Time})
+		}
+	}
+	return ds
+}
+
+// DropWords returns the TF-IDF preprocessing drop list: honey handles
+// plus monitor marker tokens (§4.6's preprocessing).
+func (e *Experiment) DropWords() []string {
+	out := append([]string(nil), e.handles...)
+	out = append(out, "honeymail", "sinkhole", "capture")
+	return out
+}

@@ -1,0 +1,106 @@
+package honeynet
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+)
+
+// GroupSpec is one row of Table 1: a block of honey accounts and the
+// outlet/decoy-information combination they were leaked with.
+type GroupSpec struct {
+	// ID is the paper's group number (1–5); sub-blocks within a group
+	// (e.g. Russian paste sites, UK vs US hints) carry the same ID.
+	ID int
+	// Count is the number of accounts in the block.
+	Count int
+	// Channel is where the block's credentials get leaked.
+	Channel analysis.Outlet
+	// Hint is the advertised decoy location ("", "uk", "us").
+	Hint analysis.Hint
+	// Label is a human-readable block description for reports.
+	Label string
+}
+
+// Table1Plan returns the paper's exact deployment (§3.2, Table 1):
+//
+//	group 1: 30 accounts on popular paste sites, no location info —
+//	         20 on the big paste sites plus 10 on Russian paste sites
+//	group 2: 20 accounts on paste sites with location info (10 UK, 10 US)
+//	group 3: 10 accounts on underground forums, no location info
+//	group 4: 20 accounts on underground forums with location info (10 UK, 10 US)
+//	group 5: 20 accounts leaked to information-stealing malware
+func Table1Plan() []GroupSpec {
+	return []GroupSpec{
+		{ID: 1, Count: 20, Channel: analysis.OutletPaste, Hint: analysis.HintNone, Label: "popular paste sites (no location information)"},
+		{ID: 1, Count: 10, Channel: analysis.OutletPasteRussian, Hint: analysis.HintNone, Label: "russian paste sites (no location information)"},
+		{ID: 2, Count: 10, Channel: analysis.OutletPaste, Hint: analysis.HintUK, Label: "popular paste sites (UK location information)"},
+		{ID: 2, Count: 10, Channel: analysis.OutletPaste, Hint: analysis.HintUS, Label: "popular paste sites (US location information)"},
+		{ID: 3, Count: 10, Channel: analysis.OutletForum, Hint: analysis.HintNone, Label: "underground forums (no location information)"},
+		{ID: 4, Count: 10, Channel: analysis.OutletForum, Hint: analysis.HintUK, Label: "underground forums (UK location information)"},
+		{ID: 4, Count: 10, Channel: analysis.OutletForum, Hint: analysis.HintUS, Label: "underground forums (US location information)"},
+		{ID: 5, Count: 20, Channel: analysis.OutletMalware, Hint: analysis.HintNone, Label: "malware (no location information)"},
+	}
+}
+
+// PaperGroupLabel returns the paper's own Table 1 wording for a group
+// number (sub-blocks such as the Russian paste sites and the UK/US
+// hint split share their group's label).
+func PaperGroupLabel(id int) string {
+	switch id {
+	case 1:
+		return "popular paste websites (no location information)"
+	case 2:
+		return "popular paste websites (including location information)"
+	case 3:
+		return "underground forums (no location information)"
+	case 4:
+		return "underground forums (including location information)"
+	case 5:
+		return "malware (no location information)"
+	default:
+		return fmt.Sprintf("group %d", id)
+	}
+}
+
+// PlanAccounts sums the account count of a plan.
+func PlanAccounts(plan []GroupSpec) int {
+	n := 0
+	for _, g := range plan {
+		n += g.Count
+	}
+	return n
+}
+
+// ValidatePlan rejects malformed plans.
+func ValidatePlan(plan []GroupSpec) error {
+	if len(plan) == 0 {
+		return fmt.Errorf("honeynet: empty plan")
+	}
+	for i, g := range plan {
+		if g.Count <= 0 {
+			return fmt.Errorf("honeynet: plan block %d has count %d", i, g.Count)
+		}
+		switch g.Channel {
+		case analysis.OutletPaste, analysis.OutletPasteRussian, analysis.OutletForum, analysis.OutletMalware:
+		default:
+			return fmt.Errorf("honeynet: plan block %d has unknown channel %q", i, g.Channel)
+		}
+		switch g.Hint {
+		case analysis.HintNone, analysis.HintUK, analysis.HintUS:
+		default:
+			return fmt.Errorf("honeynet: plan block %d has unknown hint %q", i, g.Hint)
+		}
+		if g.Channel == analysis.OutletMalware && g.Hint != analysis.HintNone {
+			return fmt.Errorf("honeynet: malware blocks carry no location hint (Table 1)")
+		}
+	}
+	return nil
+}
+
+// Assignment records the plan facts for one account.
+type Assignment struct {
+	Account  string
+	Password string
+	Group    GroupSpec
+}

@@ -1,0 +1,349 @@
+// Package malnet simulates the paper's malware honeypot
+// infrastructure (§3.2): a sandbox that repeatedly creates virtual
+// machines, infects each with an information-stealing malware sample
+// (Zeus and Corebot families), performs a scripted webmail login so
+// the running malware captures the honey credential, exfiltrates the
+// capture to the sample's command-and-control server, and destroys the
+// VM after a bounded lifetime.
+//
+// Faithful details:
+//
+//   - Sample selection: before the experiment the authors ran a test
+//     pass to keep only samples whose C&C servers were still alive;
+//     SelectLive models that filter (dead-C&C samples capture but
+//     never exfiltrate).
+//   - Prudent practices (Rossow et al., §3.2/§3.4): VM network
+//     bandwidth is capped, VM lifetime is bounded, and all mail-like
+//     traffic from the sandbox is sinkholed. The sandbox enforces the
+//     first two; the webmail platform's send-from override handles the
+//     third.
+//   - Hand-off: an exfiltrated credential belongs to one botmaster
+//     (unlike public leaks, §4.3) until it is aggregated or resold —
+//     the bursts of new activity the paper observed around day 30 and
+//     day 100 after the leak. The sandbox reports exfiltration events;
+//     the attacker engine models the botmaster and resale timing.
+package malnet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+// Family is a malware family name.
+type Family string
+
+// The families the paper deployed.
+const (
+	FamilyZeus    Family = "zeus"
+	FamilyCorebot Family = "corebot"
+)
+
+// Sample is one malware binary in the registry.
+type Sample struct {
+	ID      string
+	Family  Family
+	C2Alive bool // whether its command-and-control still responds
+}
+
+// DefaultSamples returns a registry of Zeus and Corebot samples, some
+// with dead C&C servers (to be filtered out by SelectLive, as the
+// paper's pre-test did).
+func DefaultSamples(src *rng.Source, n int) []Sample {
+	if n <= 0 {
+		n = 24
+	}
+	out := make([]Sample, 0, n)
+	for i := 0; i < n; i++ {
+		fam := FamilyZeus
+		if src.Bool(0.3) {
+			fam = FamilyCorebot
+		}
+		out = append(out, Sample{
+			ID:      fmt.Sprintf("%s-%04d", fam, i),
+			Family:  fam,
+			C2Alive: src.Bool(0.6),
+		})
+	}
+	return out
+}
+
+// SelectLive keeps only samples whose C&C responded during the
+// pre-experiment test pass.
+func SelectLive(samples []Sample) []Sample {
+	var out []Sample
+	for _, s := range samples {
+		if s.C2Alive {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Credential is a honey username/password pair fed to an infected VM.
+type Credential struct {
+	Account  string
+	Password string
+}
+
+// Exfiltration is one credential arriving at a C&C server.
+type Exfiltration struct {
+	Sample     Sample
+	Credential Credential
+	At         time.Time
+}
+
+// ExfilHandler consumes exfiltration events (the attacker engine's
+// botmaster model).
+type ExfilHandler func(e Exfiltration)
+
+// CnC is a command-and-control server collecting stolen form data for
+// one malware family/operator.
+type CnC struct {
+	mu    sync.Mutex
+	seen  []Exfiltration
+	alive bool
+}
+
+// NewCnC returns a C&C server; dead servers swallow nothing.
+func NewCnC(alive bool) *CnC { return &CnC{alive: alive} }
+
+// Receive stores an exfiltrated credential; returns false if the
+// server is dead (sample talks into the void).
+func (c *CnC) Receive(e Exfiltration) bool {
+	if !c.alive {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seen = append(c.seen, e)
+	return true
+}
+
+// Stolen returns a copy of everything the server collected.
+func (c *CnC) Stolen() []Exfiltration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Exfiltration, len(c.seen))
+	copy(out, c.seen)
+	return out
+}
+
+// SandboxConfig bounds the sandbox per prudent-practice guidance.
+type SandboxConfig struct {
+	// VMLifetime destroys each VM this long after creation. Zero
+	// selects 30 minutes.
+	VMLifetime time.Duration
+	// LoginDelay is the timeout between infecting the VM and typing
+	// the credential (letting the malware hook the browser first).
+	// Zero selects 5 minutes.
+	LoginDelay time.Duration
+	// ExfilDelay is how long the malware takes to upload captured form
+	// data to its C&C. Zero selects 2 minutes.
+	ExfilDelay time.Duration
+	// BandwidthKbps caps the VM's network interface (DoS prevention);
+	// recorded for audit, not a behaviour knob in the simulation.
+	BandwidthKbps int
+}
+
+func (c SandboxConfig) withDefaults() SandboxConfig {
+	if c.VMLifetime <= 0 {
+		c.VMLifetime = 30 * time.Minute
+	}
+	if c.LoginDelay <= 0 {
+		c.LoginDelay = 5 * time.Minute
+	}
+	if c.ExfilDelay <= 0 {
+		c.ExfilDelay = 2 * time.Minute
+	}
+	if c.BandwidthKbps <= 0 {
+		c.BandwidthKbps = 256
+	}
+	return c
+}
+
+// VMState tracks a virtual machine's lifecycle.
+type VMState int
+
+const (
+	VMCreated VMState = iota
+	VMInfected
+	VMLoggedIn
+	VMDestroyed
+)
+
+// String returns the state label.
+func (s VMState) String() string {
+	switch s {
+	case VMCreated:
+		return "created"
+	case VMInfected:
+		return "infected"
+	case VMLoggedIn:
+		return "logged-in"
+	case VMDestroyed:
+		return "destroyed"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// VM is one sandbox virtual machine run.
+type VM struct {
+	ID         int
+	Sample     Sample
+	Credential Credential
+	State      VMState
+	CreatedAt  time.Time
+	KilledAt   time.Time
+}
+
+// Sandbox drives the infect→login→exfiltrate→destroy cycle.
+type Sandbox struct {
+	cfg     SandboxConfig
+	sched   *simtime.Scheduler
+	cncs    map[string]*CnC // per sample ID
+	handler ExfilHandler
+
+	mu     sync.Mutex
+	nextID int
+	vms    []*VM
+	exfils []Exfiltration
+}
+
+// NewSandbox builds a sandbox. handler receives every successful
+// exfiltration (in addition to the per-sample C&C store).
+func NewSandbox(cfg SandboxConfig, sched *simtime.Scheduler, handler ExfilHandler) *Sandbox {
+	if sched == nil {
+		panic("malnet: NewSandbox requires a scheduler")
+	}
+	return &Sandbox{
+		cfg:     cfg.withDefaults(),
+		sched:   sched,
+		cncs:    make(map[string]*CnC),
+		handler: handler,
+	}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (sb *Sandbox) Config() SandboxConfig { return sb.cfg }
+
+// RunVM schedules one full VM cycle for the given sample/credential:
+// create now, infect immediately, log in after LoginDelay (exposing
+// the credential to the malware), exfiltrate ExfilDelay later if the
+// sample's C&C is alive, destroy at VMLifetime. It returns the VM
+// handle for inspection.
+func (sb *Sandbox) RunVM(sample Sample, cred Credential) *VM {
+	sb.mu.Lock()
+	sb.nextID++
+	vm := &VM{ID: sb.nextID, Sample: sample, Credential: cred, State: VMCreated, CreatedAt: sb.sched.Now()}
+	sb.vms = append(sb.vms, vm)
+	cnc, ok := sb.cncs[sample.ID]
+	if !ok {
+		cnc = NewCnC(sample.C2Alive)
+		sb.cncs[sample.ID] = cnc
+	}
+	sb.mu.Unlock()
+
+	// Infection is immediate on boot.
+	sb.setState(vm, VMInfected)
+
+	sb.sched.After(sb.cfg.LoginDelay, "vm-login", func(now time.Time) {
+		sb.mu.Lock()
+		dead := vm.State == VMDestroyed
+		sb.mu.Unlock()
+		if dead {
+			return
+		}
+		sb.setState(vm, VMLoggedIn)
+		sb.sched.After(sb.cfg.ExfilDelay, "vm-exfil", func(now time.Time) {
+			sb.mu.Lock()
+			dead := vm.State == VMDestroyed
+			sb.mu.Unlock()
+			if dead {
+				return
+			}
+			e := Exfiltration{Sample: sample, Credential: cred, At: now}
+			if cnc.Receive(e) {
+				sb.mu.Lock()
+				sb.exfils = append(sb.exfils, e)
+				handler := sb.handler
+				sb.mu.Unlock()
+				if handler != nil {
+					handler(e)
+				}
+			}
+		})
+	})
+	sb.sched.After(sb.cfg.VMLifetime, "vm-destroy", func(now time.Time) {
+		sb.mu.Lock()
+		vm.State = VMDestroyed
+		vm.KilledAt = now
+		sb.mu.Unlock()
+	})
+	return vm
+}
+
+// RunCampaign feeds each credential to one live sample in round-robin
+// order, one VM per credential, staggered by the VM lifetime (a new VM
+// is created as the previous one is torn down, as in the paper's
+// rolling setup). It returns the VMs created.
+func (sb *Sandbox) RunCampaign(samples []Sample, creds []Credential) []*VM {
+	live := SelectLive(samples)
+	if len(live) == 0 || len(creds) == 0 {
+		return nil
+	}
+	out := make([]*VM, 0, len(creds))
+	for i, cred := range creds {
+		sample := live[i%len(live)]
+		i := i
+		cred := cred
+		sb.sched.After(time.Duration(i)*sb.cfg.VMLifetime, "vm-cycle", func(time.Time) {
+			vm := sb.RunVM(sample, cred)
+			sb.mu.Lock()
+			out = append(out, vm)
+			sb.mu.Unlock()
+		})
+	}
+	return out
+}
+
+// setState transitions a VM unless destroyed.
+func (sb *Sandbox) setState(vm *VM, s VMState) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	if vm.State != VMDestroyed {
+		vm.State = s
+	}
+}
+
+// Exfiltrations returns all successful exfiltrations, ordered by time.
+func (sb *Sandbox) Exfiltrations() []Exfiltration {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	out := make([]Exfiltration, len(sb.exfils))
+	copy(out, sb.exfils)
+	sort.Slice(out, func(i, j int) bool { return out[i].At.Before(out[j].At) })
+	return out
+}
+
+// VMs returns the VM handles created so far.
+func (sb *Sandbox) VMs() []*VM {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	out := make([]*VM, len(sb.vms))
+	copy(out, sb.vms)
+	return out
+}
+
+// CnCFor returns the C&C store of one sample.
+func (sb *Sandbox) CnCFor(sampleID string) (*CnC, bool) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	c, ok := sb.cncs[sampleID]
+	return c, ok
+}

@@ -1,0 +1,204 @@
+package malnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+var epoch = time.Date(2015, 6, 25, 0, 0, 0, 0, time.UTC)
+
+func newSched() *simtime.Scheduler {
+	return simtime.NewScheduler(simtime.NewClock(epoch))
+}
+
+func TestDefaultSamplesMix(t *testing.T) {
+	samples := DefaultSamples(rng.New(1), 100)
+	if len(samples) != 100 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	fam := map[Family]int{}
+	alive := 0
+	for _, s := range samples {
+		fam[s.Family]++
+		if s.C2Alive {
+			alive++
+		}
+		if s.ID == "" {
+			t.Fatal("sample without ID")
+		}
+	}
+	if fam[FamilyZeus] == 0 || fam[FamilyCorebot] == 0 {
+		t.Fatalf("family mix = %v; want both zeus and corebot (§3.2)", fam)
+	}
+	if alive == 0 || alive == 100 {
+		t.Fatalf("alive C&C = %d/100; want a mix so SelectLive matters", alive)
+	}
+}
+
+func TestSelectLive(t *testing.T) {
+	in := []Sample{{ID: "a", C2Alive: true}, {ID: "b"}, {ID: "c", C2Alive: true}}
+	live := SelectLive(in)
+	if len(live) != 2 || live[0].ID != "a" || live[1].ID != "c" {
+		t.Fatalf("SelectLive = %+v", live)
+	}
+}
+
+func TestVMCycleExfiltratesToLiveC2(t *testing.T) {
+	sched := newSched()
+	var mu sync.Mutex
+	var got []Exfiltration
+	sb := NewSandbox(SandboxConfig{}, sched, func(e Exfiltration) {
+		mu.Lock()
+		defer mu.Unlock()
+		got = append(got, e)
+	})
+	sample := Sample{ID: "zeus-1", Family: FamilyZeus, C2Alive: true}
+	cred := Credential{Account: "h1@honeymail.example", Password: "pw"}
+	vm := sb.RunVM(sample, cred)
+	if vm.State != VMInfected {
+		t.Fatalf("state after boot = %v", vm.State)
+	}
+	sched.RunFor(time.Hour)
+	if vm.State != VMDestroyed || vm.KilledAt.IsZero() {
+		t.Fatalf("vm not destroyed: %+v", vm)
+	}
+	if len(got) != 1 || got[0].Credential != cred {
+		t.Fatalf("exfils = %+v", got)
+	}
+	// Exfil happens LoginDelay+ExfilDelay after boot (5m + 2m defaults).
+	if want := epoch.Add(7 * time.Minute); !got[0].At.Equal(want) {
+		t.Fatalf("exfil at %v, want %v", got[0].At, want)
+	}
+	cnc, ok := sb.CnCFor("zeus-1")
+	if !ok || len(cnc.Stolen()) != 1 {
+		t.Fatal("C&C store missing the exfiltration")
+	}
+}
+
+func TestDeadC2SwallowsNothing(t *testing.T) {
+	sched := newSched()
+	called := false
+	sb := NewSandbox(SandboxConfig{}, sched, func(Exfiltration) { called = true })
+	sb.RunVM(Sample{ID: "zeus-dead", Family: FamilyZeus, C2Alive: false}, Credential{Account: "h@x", Password: "p"})
+	sched.RunFor(time.Hour)
+	if called {
+		t.Fatal("dead C&C delivered an exfiltration")
+	}
+	if got := len(sb.Exfiltrations()); got != 0 {
+		t.Fatalf("exfils = %d", got)
+	}
+}
+
+func TestVMDestroyedBeforeLoginCapturesNothing(t *testing.T) {
+	sched := newSched()
+	called := false
+	// Lifetime shorter than the login delay: the VM dies before the
+	// credential is ever typed.
+	sb := NewSandbox(SandboxConfig{VMLifetime: 2 * time.Minute, LoginDelay: 5 * time.Minute}, sched,
+		func(Exfiltration) { called = true })
+	sb.RunVM(Sample{ID: "z", C2Alive: true}, Credential{Account: "h@x", Password: "p"})
+	sched.RunFor(time.Hour)
+	if called {
+		t.Fatal("destroyed VM still exfiltrated")
+	}
+}
+
+func TestRunCampaignRoundRobinOverLiveSamples(t *testing.T) {
+	sched := newSched()
+	var mu sync.Mutex
+	var got []Exfiltration
+	sb := NewSandbox(SandboxConfig{VMLifetime: 10 * time.Minute, LoginDelay: time.Minute, ExfilDelay: time.Minute}, sched,
+		func(e Exfiltration) {
+			mu.Lock()
+			defer mu.Unlock()
+			got = append(got, e)
+		})
+	samples := []Sample{
+		{ID: "zeus-1", Family: FamilyZeus, C2Alive: true},
+		{ID: "dead-1", Family: FamilyZeus, C2Alive: false},
+		{ID: "core-1", Family: FamilyCorebot, C2Alive: true},
+	}
+	creds := make([]Credential, 6)
+	for i := range creds {
+		creds[i] = Credential{Account: string(rune('a'+i)) + "@honeymail.example", Password: "p"}
+	}
+	sb.RunCampaign(samples, creds)
+	sched.RunFor(24 * time.Hour)
+	// All 6 credentials reach a C&C: dead samples are filtered out by
+	// the pre-test, so only live ones are used.
+	if len(got) != 6 {
+		t.Fatalf("exfils = %d, want 6", len(got))
+	}
+	bySample := map[string]int{}
+	for _, e := range got {
+		bySample[e.Sample.ID]++
+	}
+	if bySample["dead-1"] != 0 {
+		t.Fatal("dead sample used in campaign")
+	}
+	if bySample["zeus-1"] != 3 || bySample["core-1"] != 3 {
+		t.Fatalf("round robin mix = %v", bySample)
+	}
+	// Staggered: one VM per lifetime window.
+	vms := sb.VMs()
+	if len(vms) != 6 {
+		t.Fatalf("vms = %d", len(vms))
+	}
+	for i := 1; i < len(vms); i++ {
+		if gap := vms[i].CreatedAt.Sub(vms[i-1].CreatedAt); gap != 10*time.Minute {
+			t.Fatalf("vm stagger = %v, want 10m", gap)
+		}
+	}
+}
+
+func TestRunCampaignNoLiveSamples(t *testing.T) {
+	sched := newSched()
+	sb := NewSandbox(SandboxConfig{}, sched, nil)
+	if vms := sb.RunCampaign([]Sample{{ID: "dead", C2Alive: false}}, []Credential{{Account: "a@x"}}); vms != nil {
+		t.Fatal("campaign with no live samples should be nil")
+	}
+}
+
+func TestConfigDefaultsAndPrudentPractices(t *testing.T) {
+	sb := NewSandbox(SandboxConfig{}, newSched(), nil)
+	cfg := sb.Config()
+	if cfg.VMLifetime != 30*time.Minute || cfg.LoginDelay != 5*time.Minute || cfg.ExfilDelay != 2*time.Minute {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	if cfg.BandwidthKbps <= 0 {
+		t.Fatal("bandwidth cap must default on (prudent practices)")
+	}
+}
+
+func TestExfiltrationsSortedByTime(t *testing.T) {
+	sched := newSched()
+	sb := NewSandbox(SandboxConfig{VMLifetime: 10 * time.Minute, LoginDelay: time.Minute, ExfilDelay: time.Minute}, sched, nil)
+	samples := []Sample{{ID: "s", C2Alive: true}}
+	sb.RunCampaign(samples, []Credential{{Account: "a@x"}, {Account: "b@x"}, {Account: "c@x"}})
+	sched.RunFor(2 * time.Hour)
+	ex := sb.Exfiltrations()
+	if len(ex) != 3 {
+		t.Fatalf("exfils = %d", len(ex))
+	}
+	for i := 1; i < len(ex); i++ {
+		if ex[i].At.Before(ex[i-1].At) {
+			t.Fatal("exfiltrations not sorted")
+		}
+	}
+}
+
+func TestVMStateString(t *testing.T) {
+	want := map[VMState]string{VMCreated: "created", VMInfected: "infected", VMLoggedIn: "logged-in", VMDestroyed: "destroyed"}
+	for s, label := range want {
+		if s.String() != label {
+			t.Fatalf("%d.String() = %q", int(s), s.String())
+		}
+	}
+	if VMState(9).String() == "" {
+		t.Fatal("unknown state renders empty")
+	}
+}

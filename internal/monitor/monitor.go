@@ -1,0 +1,311 @@
+// Package monitor implements the paper's monitoring infrastructure
+// (§3.1): a collector that receives the Apps-Script notifications (the
+// "dedicated webmail account [used] as a notifications store"), and a
+// scraper that periodically logs into every honey account to dump its
+// activity page — cookie identifiers, geolocation, access times, and
+// system fingerprints — for offline parsing.
+//
+// Two paper-faithful details matter downstream:
+//
+//   - Self-access filtering (§4.1): accesses made by the monitoring
+//     infrastructure itself, and any access from the city the
+//     infrastructure runs in, are removed from the dataset.
+//   - Loss of visibility (§4.2): when a hijacker changes an account
+//     password the scraper's credentials stop working, so activity
+//     rows freeze at their last scraped state — a lower bound on
+//     access durations — while notifications keep flowing because the
+//     embedded scripts keep running.
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/appscript"
+	"repro/internal/netsim"
+	"repro/internal/simtime"
+	"repro/internal/webmail"
+)
+
+// AccessRecord is the monitor's merged view of one unique access (one
+// cookie on one account).
+type AccessRecord struct {
+	Account string
+	webmail.Access
+}
+
+// Duration returns tlast - t0 for the access (Figure 1's x-axis).
+func (r AccessRecord) Duration() time.Duration { return r.Last.Sub(r.First) }
+
+// ScrapeFailure records the moment the scraper lost an account.
+type ScrapeFailure struct {
+	Account string
+	Time    time.Time
+	Reason  string // "password-changed" or "suspended"
+}
+
+// Store accumulates everything the monitoring pipeline observes.
+// It is safe for concurrent use.
+type Store struct {
+	mu            sync.Mutex
+	notifications []appscript.Notification
+	accesses      map[string]map[string]webmail.Access // account -> cookie -> latest row
+	failures      []ScrapeFailure
+	failed        map[string]bool // account -> scraper locked out
+	lastHeartbeat map[string]time.Time
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		accesses:      make(map[string]map[string]webmail.Access),
+		failed:        make(map[string]bool),
+		lastHeartbeat: make(map[string]time.Time),
+	}
+}
+
+// Notify implements appscript.Notifier.
+func (s *Store) Notify(n appscript.Notification) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.notifications = append(s.notifications, n)
+	if n.Kind == appscript.NoteHeartbeat {
+		s.lastHeartbeat[n.Account] = n.Time
+	}
+}
+
+// Notifications returns a copy of all collected notifications.
+func (s *Store) Notifications() []appscript.Notification {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]appscript.Notification, len(s.notifications))
+	copy(out, s.notifications)
+	return out
+}
+
+// NotificationsFor returns the notifications for one account.
+func (s *Store) NotificationsFor(account string) []appscript.Notification {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []appscript.Notification
+	for _, n := range s.notifications {
+		if n.Account == account {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// recordAccesses merges freshly scraped activity rows.
+func (s *Store) recordAccesses(account string, rows []webmail.Access) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.accesses[account]
+	if !ok {
+		m = make(map[string]webmail.Access)
+		s.accesses[account] = m
+	}
+	for _, r := range rows {
+		m[r.Cookie] = r
+	}
+}
+
+// recordFailure notes a lost account (first failure only).
+func (s *Store) recordFailure(account, reason string, at time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed[account] {
+		return
+	}
+	s.failed[account] = true
+	s.failures = append(s.failures, ScrapeFailure{Account: account, Time: at, Reason: reason})
+}
+
+// Failures returns all scrape failures in order of occurrence.
+func (s *Store) Failures() []ScrapeFailure {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ScrapeFailure, len(s.failures))
+	copy(out, s.failures)
+	return out
+}
+
+// LastHeartbeat reports the most recent heartbeat from an account.
+func (s *Store) LastHeartbeat(account string) (time.Time, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.lastHeartbeat[account]
+	return t, ok
+}
+
+// Monitor drives the activity-page scraping. It holds the original
+// credentials of every honey account (a hijack makes them stale, which
+// is exactly the visibility loss the paper describes).
+type Monitor struct {
+	svc   *webmail.Service
+	sched *simtime.Scheduler
+	store *Store
+
+	// SelfCity is where the monitoring infrastructure runs; §4.1
+	// removes all accesses originating there.
+	selfCity string
+	endpoint netsim.Endpoint
+
+	mu      sync.Mutex
+	creds   map[string]string // account -> password as leaked
+	cookies map[string]string // account -> monitor's own cookie
+	stop    func()
+}
+
+// Config parameterises a Monitor.
+type Config struct {
+	Service   *webmail.Service
+	Scheduler *simtime.Scheduler
+	Store     *Store
+	// Endpoint is the infrastructure's network identity; its city
+	// becomes the self-filter city.
+	Endpoint netsim.Endpoint
+}
+
+// New builds a Monitor.
+func New(cfg Config) *Monitor {
+	if cfg.Service == nil || cfg.Scheduler == nil || cfg.Store == nil {
+		panic("monitor: Service, Scheduler and Store are required")
+	}
+	return &Monitor{
+		svc:      cfg.Service,
+		sched:    cfg.Scheduler,
+		store:    cfg.Store,
+		selfCity: cfg.Endpoint.City,
+		endpoint: cfg.Endpoint,
+		creds:    make(map[string]string),
+		cookies:  make(map[string]string),
+	}
+}
+
+// Store returns the monitor's store.
+func (m *Monitor) Store() *Store { return m.store }
+
+// Track registers a honey account and the password that was leaked
+// for it.
+func (m *Monitor) Track(account, password string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.creds[account] = password
+	m.cookies[account] = m.svc.NewCookie()
+}
+
+// MonitorCookies returns the scraper's own cookies (used by the
+// self-access filter).
+func (m *Monitor) MonitorCookies() map[string]bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]bool, len(m.cookies))
+	for _, c := range m.cookies {
+		out[c] = true
+	}
+	return out
+}
+
+// Start begins periodic scraping at the given interval; call the
+// returned stop function (or Stop) to end it.
+func (m *Monitor) Start(interval time.Duration) func() {
+	stop := m.sched.Every(interval, "monitor-scrape", func(now time.Time) {
+		m.ScrapeAll(now)
+	})
+	m.mu.Lock()
+	m.stop = stop
+	m.mu.Unlock()
+	return stop
+}
+
+// Stop ends periodic scraping.
+func (m *Monitor) Stop() {
+	m.mu.Lock()
+	stop := m.stop
+	m.stop = nil
+	m.mu.Unlock()
+	if stop != nil {
+		stop()
+	}
+}
+
+// ScrapeAll scrapes every tracked account once.
+func (m *Monitor) ScrapeAll(now time.Time) {
+	m.mu.Lock()
+	accounts := make([]string, 0, len(m.creds))
+	for a := range m.creds {
+		accounts = append(accounts, a)
+	}
+	m.mu.Unlock()
+	sort.Strings(accounts)
+	for _, a := range accounts {
+		m.scrapeOne(a, now)
+	}
+}
+
+// scrapeOne logs in with the monitor's credentials and dumps the
+// activity page.
+func (m *Monitor) scrapeOne(account string, now time.Time) {
+	m.mu.Lock()
+	password := m.creds[account]
+	cookie := m.cookies[account]
+	alreadyFailed := m.store.failed[account]
+	m.mu.Unlock()
+	if alreadyFailed {
+		return
+	}
+	session, err := m.svc.Login(account, password, cookie, m.endpoint)
+	if err != nil {
+		switch err {
+		case webmail.ErrBadPassword:
+			m.store.recordFailure(account, "password-changed", now)
+		case webmail.ErrSuspended:
+			m.store.recordFailure(account, "suspended", now)
+		default:
+			m.store.recordFailure(account, fmt.Sprintf("error: %v", err), now)
+		}
+		return
+	}
+	rows, err := session.ActivityPage()
+	if err != nil {
+		m.store.recordFailure(account, fmt.Sprintf("scrape: %v", err), now)
+		return
+	}
+	m.store.recordAccesses(account, rows)
+}
+
+// Dataset extracts the analysis-ready access records, applying the
+// §4.1 self-filter: the monitor's own cookies and any access from the
+// infrastructure's city are dropped.
+func (m *Monitor) Dataset() []AccessRecord {
+	self := m.MonitorCookies()
+	m.store.mu.Lock()
+	defer m.store.mu.Unlock()
+	var out []AccessRecord
+	accounts := make([]string, 0, len(m.store.accesses))
+	for a := range m.store.accesses {
+		accounts = append(accounts, a)
+	}
+	sort.Strings(accounts)
+	for _, a := range accounts {
+		cookies := make([]string, 0, len(m.store.accesses[a]))
+		for c := range m.store.accesses[a] {
+			cookies = append(cookies, c)
+		}
+		sort.Strings(cookies)
+		for _, c := range cookies {
+			row := m.store.accesses[a][c]
+			if self[row.Cookie] {
+				continue
+			}
+			if m.selfCity != "" && row.City == m.selfCity {
+				continue
+			}
+			out = append(out, AccessRecord{Account: a, Access: row})
+		}
+	}
+	return out
+}

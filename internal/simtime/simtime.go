@@ -1,0 +1,292 @@
+// Package simtime provides a deterministic discrete-event simulation
+// clock and scheduler.
+//
+// The honeynet experiment spans seven months of virtual time
+// (2015-06-25 through 2016-02-16 in the paper). Running it against the
+// wall clock is impossible, so every component in this repository —
+// the webmail service, the Apps Script runtime, outlets, the malware
+// sandbox, and attacker models — reads time from a *Clock and
+// schedules future work on a *Scheduler instead of using the time
+// package directly. Advancing the scheduler drains due events in
+// timestamp order, which makes a full experiment run deterministic
+// and fast (milliseconds of wall time for months of virtual time).
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock is a monotonically advancing virtual clock. The zero value is
+// not usable; construct one with NewClock. Clock is safe for
+// concurrent use.
+type Clock struct {
+	mu  sync.RWMutex
+	now time.Time
+}
+
+// NewClock returns a Clock set to the given start instant.
+func NewClock(start time.Time) *Clock {
+	return &Clock{now: start}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Time {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.now
+}
+
+// advance moves the clock forward to t. It panics if t is earlier
+// than the current virtual time: the simulation must never travel
+// backwards, and a violation indicates a scheduler bug.
+func (c *Clock) advance(t time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.Before(c.now) {
+		panic(fmt.Sprintf("simtime: clock moved backwards: %v -> %v", c.now, t))
+	}
+	c.now = t
+}
+
+// Event is a scheduled callback. Events compare by (when, seq): two
+// events due at the same instant fire in scheduling order, which keeps
+// runs reproducible.
+type Event struct {
+	when time.Time
+	seq  uint64
+	name string
+	fn   func(now time.Time)
+
+	index    int // heap index, -1 when popped or cancelled
+	canceled bool
+}
+
+// When returns the instant the event is due.
+func (e *Event) When() time.Time { return e.when }
+
+// Name returns the diagnostic label the event was scheduled with.
+func (e *Event) Name() string { return e.name }
+
+// eventQueue is a min-heap of events ordered by (when, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].when.Equal(q[j].when) {
+		return q[i].when.Before(q[j].when)
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Scheduler owns a Clock and a priority queue of future events.
+// Scheduler is safe for concurrent scheduling, but Run/Step must be
+// called from a single goroutine.
+type Scheduler struct {
+	mu    sync.Mutex
+	clock *Clock
+	queue eventQueue
+	seq   uint64
+
+	fired uint64
+}
+
+// NewScheduler returns a Scheduler driving the given clock.
+func NewScheduler(clock *Clock) *Scheduler {
+	return &Scheduler{clock: clock}
+}
+
+// Clock returns the clock the scheduler advances.
+func (s *Scheduler) Clock() *Clock { return s.clock }
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Time { return s.clock.Now() }
+
+// Len returns the number of pending events.
+func (s *Scheduler) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// Fired returns the total number of events executed so far.
+func (s *Scheduler) Fired() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fired
+}
+
+// At schedules fn to run at instant t. Events scheduled in the past
+// fire immediately on the next Step (the clock never goes backwards;
+// such events observe the current time). The returned *Event may be
+// passed to Cancel.
+func (s *Scheduler) At(t time.Time, name string, fn func(now time.Time)) *Event {
+	if fn == nil {
+		panic("simtime: At called with nil function")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := &Event{when: t, seq: s.seq, name: name, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d after the current virtual time.
+func (s *Scheduler) After(d time.Duration, name string, fn func(now time.Time)) *Event {
+	return s.At(s.clock.Now().Add(d), name, fn)
+}
+
+// Every schedules fn to run every interval, starting one interval from
+// now, until the returned stop function is called. The paper's
+// Apps-Script scan trigger ("every 10 minutes") and heartbeat ("once a
+// day") are built on this.
+func (s *Scheduler) Every(interval time.Duration, name string, fn func(now time.Time)) (stop func()) {
+	if interval <= 0 {
+		panic("simtime: Every requires a positive interval")
+	}
+	var (
+		mu      sync.Mutex
+		stopped bool
+	)
+	var tick func(now time.Time)
+	tick = func(now time.Time) {
+		mu.Lock()
+		dead := stopped
+		mu.Unlock()
+		if dead {
+			return
+		}
+		fn(now)
+		mu.Lock()
+		dead = stopped
+		mu.Unlock()
+		if !dead {
+			s.After(interval, name, tick)
+		}
+	}
+	s.After(interval, name, tick)
+	return func() {
+		mu.Lock()
+		stopped = true
+		mu.Unlock()
+	}
+}
+
+// Cancel removes a pending event. Cancelling an event that already
+// fired (or was cancelled) is a no-op and returns false.
+func (s *Scheduler) Cancel(e *Event) bool {
+	if e == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e.canceled || e.index < 0 {
+		return false
+	}
+	e.canceled = true
+	heap.Remove(&s.queue, e.index)
+	return true
+}
+
+// pop removes and returns the earliest pending event, or nil.
+func (s *Scheduler) pop() *Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.queue) == 0 {
+		return nil
+	}
+	return heap.Pop(&s.queue).(*Event)
+}
+
+// peekWhen reports the due time of the earliest pending event.
+func (s *Scheduler) peekWhen() (time.Time, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.queue) == 0 {
+		return time.Time{}, false
+	}
+	return s.queue[0].when, true
+}
+
+// Step executes the single earliest pending event, advancing the clock
+// to its due time (or leaving the clock untouched for past-due
+// events). It reports whether an event ran.
+func (s *Scheduler) Step() bool {
+	e := s.pop()
+	if e == nil {
+		return false
+	}
+	if e.when.After(s.clock.Now()) {
+		s.clock.advance(e.when)
+	}
+	s.mu.Lock()
+	s.fired++
+	s.mu.Unlock()
+	e.fn(s.clock.Now())
+	return true
+}
+
+// RunUntil executes pending events in order until the queue is empty
+// or the next event is due after deadline. The clock finishes at
+// deadline (if reached) or at the last executed event. It returns the
+// number of events executed.
+func (s *Scheduler) RunUntil(deadline time.Time) int {
+	n := 0
+	for {
+		when, ok := s.peekWhen()
+		if !ok || when.After(deadline) {
+			break
+		}
+		if !s.Step() {
+			break
+		}
+		n++
+	}
+	if deadline.After(s.clock.Now()) {
+		s.clock.advance(deadline)
+	}
+	return n
+}
+
+// RunFor executes events for the given span of virtual time starting
+// at the current instant. It returns the number of events executed.
+func (s *Scheduler) RunFor(d time.Duration) int {
+	return s.RunUntil(s.clock.Now().Add(d))
+}
+
+// Drain executes every pending event regardless of timestamp, up to
+// the given maximum (a safety valve against self-perpetuating
+// schedules such as Every loops). It returns the number executed.
+func (s *Scheduler) Drain(max int) int {
+	n := 0
+	for n < max && s.Step() {
+		n++
+	}
+	return n
+}

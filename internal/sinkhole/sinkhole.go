@@ -1,0 +1,323 @@
+// Package sinkhole implements the researchers' sinkhole mailserver
+// (§3.1, §3.4): every honey account's send-from address points at it,
+// it accepts everything a client offers over a minimal SMTP-style
+// exchange, stores the message, and never forwards anything — so no
+// spam or blackmail composed on a honey account can reach a victim.
+//
+// Two front ends share one Store:
+//
+//   - Server speaks a line-based SMTP subset (HELO/MAIL FROM/RCPT
+//     TO/DATA/QUIT) over real TCP, for the standalone daemon and the
+//     live-servers example.
+//   - Store itself implements webmail.Outbound for the in-process
+//     simulation path.
+package sinkhole
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// StoredMail is one captured outbound message.
+type StoredMail struct {
+	From     string
+	To       string
+	Subject  string
+	Body     string
+	Received time.Time
+}
+
+// Store is the captured-mail archive. It is safe for concurrent use.
+type Store struct {
+	mu    sync.Mutex
+	mails []StoredMail
+	now   func() time.Time
+}
+
+// NewStore returns a Store stamping messages with the given clock
+// function (the simulation passes the virtual clock's Now).
+func NewStore(now func() time.Time) *Store {
+	if now == nil {
+		now = time.Now
+	}
+	return &Store{now: now}
+}
+
+// Deliver implements webmail.Outbound: the mail is archived and
+// intentionally goes nowhere else.
+func (s *Store) Deliver(from, to, subject, body string, at time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if at.IsZero() {
+		at = s.now()
+	}
+	s.mails = append(s.mails, StoredMail{From: from, To: to, Subject: subject, Body: body, Received: at})
+	return nil
+}
+
+// All returns a copy of every captured message.
+func (s *Store) All() []StoredMail {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]StoredMail, len(s.mails))
+	copy(out, s.mails)
+	return out
+}
+
+// Count returns the number of captured messages.
+func (s *Store) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.mails)
+}
+
+// ByRecipient returns captured mail addressed to the given recipient.
+func (s *Store) ByRecipient(to string) []StoredMail {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []StoredMail
+	for _, m := range s.mails {
+		if m.To == to {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Server is the TCP front end speaking an SMTP subset.
+type Server struct {
+	store *Store
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewServer wraps a store.
+func NewServer(store *Store) *Server {
+	return &Server{store: store, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen binds the server and starts accepting; it returns the bound
+// address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("sinkhole: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serve(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close shuts the listener and all live connections down.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// serve handles one SMTP-subset session. The grammar is deliberately
+// permissive: a sinkhole's job is to swallow whatever arrives.
+func (s *Server) serve(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	say := func(code int, msg string) bool {
+		fmt.Fprintf(w, "%d %s\r\n", code, msg)
+		return w.Flush() == nil
+	}
+	if !say(220, "sinkhole.example service ready") {
+		return
+	}
+	var from string
+	var rcpts []string
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		line = strings.TrimRight(line, "\r\n")
+		verb := strings.ToUpper(line)
+		switch {
+		case strings.HasPrefix(verb, "HELO") || strings.HasPrefix(verb, "EHLO"):
+			if !say(250, "sinkhole greets you") {
+				return
+			}
+		case strings.HasPrefix(verb, "MAIL FROM:"):
+			from = strings.Trim(line[len("MAIL FROM:"):], " <>")
+			rcpts = nil
+			if !say(250, "ok") {
+				return
+			}
+		case strings.HasPrefix(verb, "RCPT TO:"):
+			rcpts = append(rcpts, strings.Trim(line[len("RCPT TO:"):], " <>"))
+			if !say(250, "ok") {
+				return
+			}
+		case verb == "DATA":
+			if !say(354, "end data with <CRLF>.<CRLF>") {
+				return
+			}
+			subject, body, err := readData(r)
+			if err != nil {
+				return
+			}
+			at := s.store.now()
+			for _, to := range rcpts {
+				s.store.Deliver(from, to, subject, body, at)
+			}
+			if !say(250, "swallowed") {
+				return
+			}
+		case verb == "QUIT":
+			say(221, "bye")
+			return
+		case verb == "RSET":
+			from, rcpts = "", nil
+			if !say(250, "ok") {
+				return
+			}
+		case verb == "NOOP":
+			if !say(250, "ok") {
+				return
+			}
+		default:
+			// Sinkholes do not argue with clients.
+			if !say(250, "ok (ignored)") {
+				return
+			}
+		}
+	}
+}
+
+// readData consumes a DATA payload up to the lone-dot terminator and
+// splits out a Subject: header if one is present.
+func readData(r *bufio.Reader) (subject, body string, err error) {
+	var lines []string
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return "", "", err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "." {
+			break
+		}
+		// Dot-stuffing per RFC 5321 §4.5.2.
+		line = strings.TrimPrefix(line, ".")
+		lines = append(lines, line)
+	}
+	bodyStart := 0
+	for i, l := range lines {
+		if strings.HasPrefix(strings.ToLower(l), "subject:") {
+			subject = strings.TrimSpace(l[len("subject:"):])
+		}
+		if l == "" {
+			bodyStart = i + 1
+			break
+		}
+	}
+	return subject, strings.Join(lines[bodyStart:], "\n"), nil
+}
+
+// Send is a minimal client helper used by tests and examples to push
+// one message through a sinkhole server over TCP.
+func Send(addr, from, to, subject, body string) error {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("sinkhole: dial: %w", err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	expect := func(code string) error {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return fmt.Errorf("sinkhole: read: %w", err)
+		}
+		if !strings.HasPrefix(line, code) {
+			return fmt.Errorf("sinkhole: unexpected reply %q", strings.TrimSpace(line))
+		}
+		return nil
+	}
+	send := func(line string) error {
+		if _, err := fmt.Fprintf(w, "%s\r\n", line); err != nil {
+			return err
+		}
+		return w.Flush()
+	}
+	if err := expect("220"); err != nil {
+		return err
+	}
+	steps := []struct{ cmd, code string }{
+		{"HELO honeynet", "250"},
+		{"MAIL FROM:<" + from + ">", "250"},
+		{"RCPT TO:<" + to + ">", "250"},
+		{"DATA", "354"},
+	}
+	for _, st := range steps {
+		if err := send(st.cmd); err != nil {
+			return err
+		}
+		if err := expect(st.code); err != nil {
+			return err
+		}
+	}
+	payload := fmt.Sprintf("Subject: %s\r\n\r\n%s\r\n.", subject, strings.ReplaceAll(body, "\n.", "\n.."))
+	if err := send(payload); err != nil {
+		return err
+	}
+	if err := expect("250"); err != nil {
+		return err
+	}
+	if err := send("QUIT"); err != nil {
+		return err
+	}
+	return expect("221")
+}

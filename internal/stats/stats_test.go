@@ -1,0 +1,208 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestECDFBasics(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 3, 4})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {100, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if e.N() != 4 || e.Min() != 1 || e.Max() != 4 {
+		t.Fatalf("N/Min/Max = %d/%v/%v", e.N(), e.Min(), e.Max())
+	}
+}
+
+func TestECDFEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewECDF(nil) did not panic")
+		}
+	}()
+	NewECDF(nil)
+}
+
+func TestECDFDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	NewECDF(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatal("NewECDF mutated its input")
+	}
+}
+
+func TestECDFPointsCollapsesDuplicates(t *testing.T) {
+	e := NewECDF([]float64{1, 1, 1, 2})
+	pts := e.Points()
+	if len(pts) != 2 {
+		t.Fatalf("Points() = %v, want 2 distinct points", pts)
+	}
+	if pts[0].X != 1 || math.Abs(pts[0].P-0.75) > 1e-12 {
+		t.Fatalf("first point = %+v, want {1 0.75}", pts[0])
+	}
+	if pts[1].X != 2 || pts[1].P != 1 {
+		t.Fatalf("last point = %+v, want {2 1}", pts[1])
+	}
+}
+
+func TestECDFSampleGrid(t *testing.T) {
+	e := NewECDF([]float64{10, 20, 30})
+	pts := e.Sample([]float64{5, 15, 35})
+	wantP := []float64{0, 1.0 / 3, 1}
+	for i, p := range pts {
+		if math.Abs(p.P-wantP[i]) > 1e-12 {
+			t.Errorf("Sample[%d].P = %v, want %v", i, p.P, wantP[i])
+		}
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 3, 4, 5})
+	if got := e.Quantile(0.5); got != 3 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := e.Quantile(0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := e.Quantile(1); got != 5 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := e.Quantile(0.25); got != 2 {
+		t.Fatalf("q.25 = %v", got)
+	}
+}
+
+func TestMedianEvenOdd(t *testing.T) {
+	if got := Median([]float64{1, 3}); got != 2 {
+		t.Fatalf("even median = %v, want 2", got)
+	}
+	if got := Median([]float64{9, 1, 5}); got != 5 {
+		t.Fatalf("odd median = %v, want 5", got)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	sample := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(sample); got != 5 {
+		t.Fatalf("mean = %v, want 5", got)
+	}
+	// Known sample stddev (n-1): sqrt(32/7) ≈ 2.138
+	if got := StdDev(sample); math.Abs(got-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Fatalf("stddev = %v", got)
+	}
+	if StdDev([]float64{1}) != 0 {
+		t.Fatal("stddev of single value should be 0")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if s.N != 10 || s.Min != 1 || s.Max != 10 || s.Median != 5.5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty summary string")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{-1, 0, 0.5, 1, 1.5, 2, 5}, []float64{0, 1, 2})
+	// bins: [0,1) -> {0, 0.5}; [1,2) -> {1, 1.5}; under: -1; over: 2, 5
+	if h.Counts[0] != 2 || h.Counts[1] != 2 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	if h.Underflow != 1 || h.Overflow != 2 {
+		t.Fatalf("under/over = %d/%d", h.Underflow, h.Overflow)
+	}
+	if h.Total() != 4 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if got := h.Fraction(0); got != 0.5 {
+		t.Fatalf("fraction(0) = %v", got)
+	}
+}
+
+func TestHistogramEdgeValidation(t *testing.T) {
+	for _, edges := range [][]float64{{1}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("edges %v accepted", edges)
+				}
+			}()
+			NewHistogram(nil, edges)
+		}()
+	}
+}
+
+// Property: ECDF is monotone nondecreasing and bounded in [0,1].
+func TestPropertyECDFMonotone(t *testing.T) {
+	f := func(raw []int8, probes []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		sample := make([]float64, len(raw))
+		for i, v := range raw {
+			sample[i] = float64(v)
+		}
+		e := NewECDF(sample)
+		xs := make([]float64, len(probes))
+		for i, p := range probes {
+			xs[i] = float64(p)
+		}
+		sort.Float64s(xs)
+		prev := 0.0
+		for _, x := range xs {
+			p := e.At(x)
+			if p < prev || p < 0 || p > 1 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: At(Max) == 1 and At(just below Min) == 0.
+func TestPropertyECDFExtremes(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		sample := make([]float64, len(raw))
+		for i, v := range raw {
+			sample[i] = float64(v)
+		}
+		e := NewECDF(sample)
+		return e.At(e.Max()) == 1 && e.At(e.Min()-1) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: histogram conserves mass (counts + under + over = n).
+func TestPropertyHistogramConservation(t *testing.T) {
+	f := func(raw []int8) bool {
+		sample := make([]float64, len(raw))
+		for i, v := range raw {
+			sample[i] = float64(v)
+		}
+		h := NewHistogram(sample, []float64{-64, 0, 64})
+		return h.Total()+h.Underflow+h.Overflow == len(sample)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

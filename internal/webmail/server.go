@@ -1,0 +1,292 @@
+package webmail
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"sync"
+
+	"repro/internal/netsim"
+)
+
+// Wire protocol: newline-delimited JSON over TCP. Each request names
+// an op; LOGIN binds the connection to a session, after which mailbox
+// ops operate on that session. One connection == one browser tab.
+//
+// The simulation drives the service in-process for speed; cmd/webmaild
+// and the live-servers example drive it over this protocol to show the
+// platform is a real network service.
+
+// Request is one client command.
+type Request struct {
+	Op       string `json:"op"`
+	Account  string `json:"account,omitempty"`
+	Password string `json:"password,omitempty"`
+	Cookie   string `json:"cookie,omitempty"`
+	// Origin is the claimed client identity; a production service
+	// would derive these from the connection. City may be empty for
+	// anonymised clients.
+	IP        string  `json:"ip,omitempty"`
+	City      string  `json:"city,omitempty"`
+	Country   string  `json:"country,omitempty"`
+	Lat       float64 `json:"lat,omitempty"`
+	Lon       float64 `json:"lon,omitempty"`
+	Tor       bool    `json:"tor,omitempty"`
+	Proxy     bool    `json:"proxy,omitempty"`
+	UserAgent string  `json:"user_agent,omitempty"`
+
+	Folder  string    `json:"folder,omitempty"`
+	ID      MessageID `json:"id,omitempty"`
+	To      string    `json:"to,omitempty"`
+	Subject string    `json:"subject,omitempty"`
+	Body    string    `json:"body,omitempty"`
+	Query   string    `json:"query,omitempty"`
+}
+
+// Response is the server's reply.
+type Response struct {
+	OK       bool      `json:"ok"`
+	Error    string    `json:"error,omitempty"`
+	Cookie   string    `json:"cookie,omitempty"`
+	ID       MessageID `json:"id,omitempty"`
+	Messages []Message `json:"messages,omitempty"`
+	Message  *Message  `json:"message,omitempty"`
+	Accesses []Access  `json:"accesses,omitempty"`
+}
+
+// Server exposes a Service over TCP.
+type Server struct {
+	svc *Service
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewServer wraps a service.
+func NewServer(svc *Service) *Server {
+	return &Server{svc: svc, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen starts accepting connections on addr ("127.0.0.1:0" for an
+// ephemeral port) and returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("webmail: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops the listener and all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	var session *Session
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return // EOF or bad frame: drop the connection
+		}
+		resp := s.handle(&session, &req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// handle executes one request against the bound session.
+func (s *Server) handle(session **Session, req *Request) Response {
+	fail := func(err error) Response { return Response{Error: err.Error()} }
+	if req.Op != "login" && *session == nil {
+		return fail(errors.New("webmail: not logged in"))
+	}
+	switch req.Op {
+	case "login":
+		ep, err := endpointFromRequest(req)
+		if err != nil {
+			return fail(err)
+		}
+		se, err := s.svc.Login(req.Account, req.Password, req.Cookie, ep)
+		if err != nil {
+			return fail(err)
+		}
+		*session = se
+		return Response{OK: true, Cookie: se.Cookie()}
+	case "list":
+		msgs, err := (*session).List(Folder(req.Folder))
+		if err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, Messages: msgs}
+	case "read":
+		m, err := (*session).Read(req.ID)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, Message: &m}
+	case "star":
+		if err := (*session).Star(req.ID); err != nil {
+			return fail(err)
+		}
+		return Response{OK: true}
+	case "search":
+		msgs, err := (*session).Search(req.Query)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, Messages: msgs}
+	case "draft":
+		id, err := (*session).CreateDraft(req.To, req.Subject, req.Body)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, ID: id}
+	case "send":
+		id, err := (*session).Send(req.To, req.Subject, req.Body)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, ID: id}
+	case "chpass":
+		if err := (*session).ChangePassword(req.Password); err != nil {
+			return fail(err)
+		}
+		return Response{OK: true}
+	case "activity":
+		acc, err := (*session).ActivityPage()
+		if err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, Accesses: acc}
+	case "delete":
+		if err := (*session).Delete(req.ID); err != nil {
+			return fail(err)
+		}
+		return Response{OK: true}
+	default:
+		return fail(fmt.Errorf("webmail: unknown op %q", req.Op))
+	}
+}
+
+func endpointFromRequest(req *Request) (netsim.Endpoint, error) {
+	addr, err := netip.ParseAddr(req.IP)
+	if err != nil {
+		return netsim.Endpoint{}, fmt.Errorf("webmail: bad ip %q: %w", req.IP, err)
+	}
+	ep := netsim.Endpoint{
+		Addr:      addr,
+		City:      req.City,
+		Country:   req.Country,
+		Tor:       req.Tor,
+		Proxy:     req.Proxy,
+		UserAgent: req.UserAgent,
+	}
+	ep.Point.Lat, ep.Point.Lon = req.Lat, req.Lon
+	return ep, nil
+}
+
+// Client is a minimal wire-protocol client (one connection == one
+// browser tab with one cookie).
+type Client struct {
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+}
+
+// Dial connects to a webmail server.
+func Dial(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("webmail: dial: %w", err)
+	}
+	return &Client{
+		conn: conn,
+		enc:  json.NewEncoder(conn),
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do performs one request/response round trip.
+func (c *Client) Do(req Request) (Response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, fmt.Errorf("webmail: send: %w", err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Response{}, fmt.Errorf("webmail: connection closed: %w", err)
+		}
+		return Response{}, fmt.Errorf("webmail: recv: %w", err)
+	}
+	return resp, nil
+}
+
+// Login authenticates over the wire using the endpoint's identity.
+func (c *Client) Login(account, password, cookie string, ep netsim.Endpoint) (Response, error) {
+	return c.Do(Request{
+		Op: "login", Account: account, Password: password, Cookie: cookie,
+		IP: ep.Addr.String(), City: ep.City, Country: ep.Country,
+		Lat: ep.Point.Lat, Lon: ep.Point.Lon,
+		Tor: ep.Tor, Proxy: ep.Proxy, UserAgent: ep.UserAgent,
+	})
+}

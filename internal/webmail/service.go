@@ -1,0 +1,516 @@
+package webmail
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/simtime"
+)
+
+// account is the server-side state of one mailbox.
+type account struct {
+	address   string
+	password  string
+	owner     string // display name
+	suspended bool
+
+	nextID   MessageID
+	messages map[MessageID]*Message
+
+	// sendFrom, when set, overrides the envelope sender of outgoing
+	// mail. The honeynet points it at the sinkhole domain so replies
+	// and bounces never reach real parties (§3.1).
+	sendFrom string
+
+	accesses map[string]*Access // by cookie
+	journal  []Event
+
+	passwordChanges int
+	searchLog       []string
+
+	// version increments on every state change; pollers (the
+	// Apps-Script scan trigger) use it to skip diffing quiet accounts.
+	version uint64
+
+	homeLat, homeLon float64
+	homeKnown        bool
+}
+
+// Config parameterises a Service.
+type Config struct {
+	// Clock supplies virtual time; required.
+	Clock *simtime.Clock
+	// Outbound receives all sent mail; defaults to DiscardOutbound.
+	Outbound Outbound
+	// Abuse configures the platform's abuse detection. Zero value
+	// enables defaults; see AbuseConfig.
+	Abuse AbuseConfig
+	// LoginRisk, when enabled, blocks suspicious logins the way
+	// Google's filters would. The paper had these filters DISABLED on
+	// honey accounts (§3.4); the ablation bench turns them on.
+	LoginRisk LoginRiskConfig
+}
+
+// Service is the webmail platform. It is safe for concurrent use.
+type Service struct {
+	mu       sync.Mutex
+	clock    *simtime.Clock
+	outbound Outbound
+	abuse    *abuseDetector
+	risk     LoginRiskConfig
+	accounts map[string]*account
+	jar      *netsim.CookieJar
+
+	observers []func(Event)
+}
+
+// NewService creates an empty platform.
+func NewService(cfg Config) *Service {
+	if cfg.Clock == nil {
+		panic("webmail: Config.Clock is required")
+	}
+	out := cfg.Outbound
+	if out == nil {
+		out = DiscardOutbound
+	}
+	return &Service{
+		clock:    cfg.Clock,
+		outbound: out,
+		abuse:    newAbuseDetector(cfg.Abuse),
+		risk:     cfg.LoginRisk,
+		accounts: make(map[string]*account),
+		jar:      netsim.NewCookieJar(),
+	}
+}
+
+// Observe registers a callback invoked for every journal event. Used
+// by tests and by ground-truth collectors; the paper-faithful
+// monitoring pipeline does NOT use it.
+func (s *Service) Observe(fn func(Event)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.observers = append(s.observers, fn)
+}
+
+// CreateAccount registers a mailbox.
+func (s *Service) CreateAccount(address, password, ownerName string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.accounts[address]; ok {
+		return ErrAccountExists
+	}
+	s.accounts[address] = &account{
+		address:  address,
+		password: password,
+		owner:    ownerName,
+		nextID:   1,
+		messages: make(map[MessageID]*Message),
+		accesses: make(map[string]*Access),
+	}
+	return nil
+}
+
+// SetSendFrom sets the account's outgoing envelope-sender override.
+func (s *Service) SetSendFrom(address, sendFrom string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.accounts[address]
+	if !ok {
+		return ErrNoSuchAccount
+	}
+	a.sendFrom = sendFrom
+	return nil
+}
+
+// Seed stores a message directly into a folder without journaling —
+// used to populate honey mailboxes before the leak (§3.2).
+func (s *Service) Seed(address string, folder Folder, from, to, subject, body string, date time.Time) (MessageID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.accounts[address]
+	if !ok {
+		return 0, ErrNoSuchAccount
+	}
+	id := a.nextID
+	a.nextID++
+	a.messages[id] = &Message{
+		ID: id, Folder: folder, From: from, To: to,
+		Subject: subject, Body: body, Date: date,
+		Read: folder == FolderSent, // own sent mail is "read"
+	}
+	return id, nil
+}
+
+// NewCookie issues a browser cookie identifier. Attacker sessions
+// reuse one cookie across visits from the same browser, exactly the
+// identity Google uses to distinguish unique accesses (§4.3).
+func (s *Service) NewCookie() string { return s.jar.Issue() }
+
+// Login authenticates and opens a session bound to a cookie and a
+// network endpoint. A new Access row appears on the activity page for
+// first-time cookies; repeat cookies update tlast and the visit count.
+func (s *Service) Login(address, password, cookie string, ep netsim.Endpoint) (*Session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.accounts[address]
+	if !ok {
+		return nil, ErrNoSuchAccount
+	}
+	if a.suspended {
+		return nil, ErrSuspended
+	}
+	if a.password != password {
+		return nil, ErrBadPassword
+	}
+	now := s.clock.Now()
+	if s.risk.Enabled && s.riskyLocked(a, ep) {
+		s.journalLocked(a, Event{Time: now, Kind: EventLoginBlocked, Account: address, Cookie: cookie, Detail: ep.Addr.String()})
+		return nil, ErrLoginBlocked
+	}
+	if cookie == "" {
+		cookie = s.jar.Issue()
+	}
+	acc, seen := a.accesses[cookie]
+	if !seen {
+		browser, device := netsim.ClassifyUserAgent(ep.UserAgent)
+		acc = &Access{
+			Cookie: cookie, First: now, IP: ep.Addr.String(),
+			City: ep.City, Country: ep.Country,
+			Lat: ep.Point.Lat, Lon: ep.Point.Lon,
+			HasPoint:  ep.HasLocation(),
+			UserAgent: ep.UserAgent, Browser: browser, Device: device,
+		}
+		a.accesses[cookie] = acc
+	}
+	acc.Last = now
+	acc.Visits++
+	s.journalLocked(a, Event{Time: now, Kind: EventLogin, Account: address, Cookie: cookie, Detail: ep.Addr.String()})
+	return &Session{svc: s, account: address, cookie: cookie, passwordAt: a.passwordChanges}, nil
+}
+
+// riskyLocked is the Google-style suspicious-login heuristic used only
+// by the ablation: block anonymised origins and origins with no
+// geolocation at all.
+func (s *Service) riskyLocked(a *account, ep netsim.Endpoint) bool {
+	if ep.Tor && s.risk.BlockTor {
+		return true
+	}
+	if ep.Proxy && s.risk.BlockProxies {
+		return true
+	}
+	if s.risk.MaxKmFromHome > 0 && a.homeSet() && ep.HasLocation() {
+		if distKm(a.homeLat, a.homeLon, ep.Point.Lat, ep.Point.Lon) > s.risk.MaxKmFromHome {
+			return true
+		}
+	}
+	return false
+}
+
+// LoginRiskConfig models the provider's suspicious-login filters.
+type LoginRiskConfig struct {
+	Enabled       bool
+	BlockTor      bool
+	BlockProxies  bool
+	MaxKmFromHome float64
+}
+
+// SetHomeLocation records where the legitimate owner "usually" logs in
+// from; only the login-risk ablation consults it.
+func (s *Service) SetHomeLocation(address string, lat, lon float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.accounts[address]
+	if !ok {
+		return ErrNoSuchAccount
+	}
+	a.homeLat, a.homeLon, a.homeKnown = lat, lon, true
+	return nil
+}
+
+// Suspend blocks an account (Google's enforcement, §4.1).
+func (s *Service) Suspend(address, reason string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.accounts[address]
+	if !ok {
+		return ErrNoSuchAccount
+	}
+	if !a.suspended {
+		a.suspended = true
+		s.journalLocked(a, Event{Time: s.clock.Now(), Kind: EventSuspend, Account: address, Detail: reason})
+	}
+	return nil
+}
+
+// Suspended reports whether the account is blocked.
+func (s *Service) Suspended(address string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.accounts[address]
+	return ok && a.suspended
+}
+
+// SuspendedCount returns how many accounts the platform has blocked.
+func (s *Service) SuspendedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, a := range s.accounts {
+		if a.suspended {
+			n++
+		}
+	}
+	return n
+}
+
+// Accounts returns all account addresses, sorted.
+func (s *Service) Accounts() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.accounts))
+	for addr := range s.accounts {
+		out = append(out, addr)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Journal returns a copy of the ground-truth event journal for an
+// account (empty for unknown accounts).
+func (s *Service) Journal(address string) []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.accounts[address]
+	if !ok {
+		return nil
+	}
+	out := make([]Event, len(a.journal))
+	copy(out, a.journal)
+	return out
+}
+
+// SearchLog returns the ground-truth search queries issued against an
+// account. The paper did NOT have this signal ("we did not have access
+// to search logs", §4.6) — it exists here to validate how well the
+// TF-IDF inference recovers it.
+func (s *Service) SearchLog(address string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.accounts[address]
+	if !ok {
+		return nil
+	}
+	out := make([]string, len(a.searchLog))
+	copy(out, a.searchLog)
+	return out
+}
+
+// journalLocked appends an event and notifies observers. Callers hold s.mu.
+// The snapshot version only advances for events that change what
+// Snapshot reports (reads, stars, sends, drafts) so that pollers can
+// skip accounts whose mailbox is untouched — logins and searches alone
+// do not force a rescan.
+func (s *Service) journalLocked(a *account, e Event) {
+	a.journal = append(a.journal, e)
+	switch e.Kind {
+	case EventRead, EventStar, EventSend, EventDraftCreate, EventDraftUpdate:
+		a.version++
+	}
+	for _, fn := range s.observers {
+		fn(e)
+	}
+}
+
+// Version returns a counter that changes whenever the account's state
+// does. Unknown accounts report 0.
+func (s *Service) Version(address string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.accounts[address]
+	if !ok {
+		return 0
+	}
+	return a.version
+}
+
+// account home-location fields (used only by the login-risk ablation).
+func (a *account) homeSet() bool { return a.homeKnown }
+
+// distKm is a local haversine; webmail cannot import geo (geo is an
+// analysis-side dependency) so the few lines are duplicated here.
+func distKm(lat1, lon1, lat2, lon2 float64) float64 {
+	const r = 6371.0
+	rad := func(d float64) float64 { return d * math.Pi / 180 }
+	dLat := rad(lat2 - lat1)
+	dLon := rad(lon2 - lon1)
+	sin2 := func(x float64) float64 { s := math.Sin(x); return s * s }
+	h := sin2(dLat/2) + math.Cos(rad(lat1))*math.Cos(rad(lat2))*sin2(dLon/2)
+	return 2 * r * math.Asin(math.Sqrt(h))
+}
+
+// Folded message counts for reporting.
+type FolderCounts struct {
+	Inbox, Sent, Drafts, Trash int
+	Unread, Starred            int
+}
+
+// Counts summarises an account's folders.
+func (s *Service) Counts(address string) (FolderCounts, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.accounts[address]
+	if !ok {
+		return FolderCounts{}, ErrNoSuchAccount
+	}
+	var c FolderCounts
+	for _, m := range a.messages {
+		switch m.Folder {
+		case FolderInbox:
+			c.Inbox++
+		case FolderSent:
+			c.Sent++
+		case FolderDrafts:
+			c.Drafts++
+		case FolderTrash:
+			c.Trash++
+		}
+		if !m.Read && m.Folder == FolderInbox {
+			c.Unread++
+		}
+		if m.Starred {
+			c.Starred++
+		}
+	}
+	return c, nil
+}
+
+// DeliverInbound places a message in the account's inbox, as the MTA
+// would for mail arriving from outside (forum registration
+// confirmations, Apps-Script quota notices, §4.7).
+func (s *Service) DeliverInbound(address, from, subject, body string) (MessageID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.accounts[address]
+	if !ok {
+		return 0, ErrNoSuchAccount
+	}
+	id := a.nextID
+	a.nextID++
+	a.messages[id] = &Message{
+		ID: id, Folder: FolderInbox, From: from, To: address,
+		Subject: subject, Body: body, Date: s.clock.Now(),
+	}
+	a.version++
+	return id, nil
+}
+
+// Snapshot is the immutable view the Apps-Script scanner diffs every
+// cycle: which messages are read / starred / sent / drafts.
+type Snapshot struct {
+	Taken   time.Time
+	Read    []MessageID
+	Starred []MessageID
+	Sent    []MessageID
+	Drafts  map[MessageID]string // draft id -> body (scripts exfiltrate draft copies)
+}
+
+// Snapshot captures the visible mailbox state. It works even on
+// suspended accounts and after password changes — the paper notes the
+// embedded scripts keep running in both cases (§4.2).
+func (s *Service) Snapshot(address string) (Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.accounts[address]
+	if !ok {
+		return Snapshot{}, ErrNoSuchAccount
+	}
+	snap := Snapshot{Taken: s.clock.Now(), Drafts: make(map[MessageID]string)}
+	ids := make([]MessageID, 0, len(a.messages))
+	for id := range a.messages {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		m := a.messages[id]
+		if m.Read && m.Folder == FolderInbox {
+			snap.Read = append(snap.Read, id)
+		}
+		if m.Starred {
+			snap.Starred = append(snap.Starred, id)
+		}
+		if m.Folder == FolderSent {
+			snap.Sent = append(snap.Sent, id)
+		}
+		if m.Folder == FolderDrafts {
+			snap.Drafts[id] = m.Body
+		}
+	}
+	return snap, nil
+}
+
+// ActivityPage returns the access rows for an account as its activity
+// page would display them, sorted by first access. Scraping requires
+// valid credentials: after a hijacker changes the password the monitor
+// can no longer call this (enforced by the monitor, which logs in
+// through the normal path).
+func (s *Service) ActivityPage(address string) ([]Access, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.accounts[address]
+	if !ok {
+		return nil, ErrNoSuchAccount
+	}
+	out := make([]Access, 0, len(a.accesses))
+	for _, acc := range a.accesses {
+		out = append(out, *acc)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].First.Equal(out[j].First) {
+			return out[i].First.Before(out[j].First)
+		}
+		return out[i].Cookie < out[j].Cookie
+	})
+	return out, nil
+}
+
+// Password returns the current password; the honeynet uses it to model
+// "the password no longer matches the leaked one" after hijacks.
+func (s *Service) Password(address string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.accounts[address]
+	if !ok {
+		return "", ErrNoSuchAccount
+	}
+	return a.password, nil
+}
+
+// messageLocked fetches a message or returns ErrNoSuchMessage.
+func (a *account) messageLocked(id MessageID) (*Message, error) {
+	m, ok := a.messages[id]
+	if !ok {
+		return nil, ErrNoSuchMessage
+	}
+	return m, nil
+}
+
+// matchQuery reports whether a message matches a search query: every
+// whitespace-separated term must appear (case-insensitively) in the
+// subject or body.
+func matchQuery(m *Message, query string) bool {
+	terms := strings.Fields(strings.ToLower(query))
+	if len(terms) == 0 {
+		return false
+	}
+	hay := strings.ToLower(m.Subject + "\n" + m.Body)
+	for _, t := range terms {
+		if !strings.Contains(hay, t) {
+			return false
+		}
+	}
+	return true
+}

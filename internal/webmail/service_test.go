@@ -1,0 +1,467 @@
+package webmail
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/netsim"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+var epoch = time.Date(2015, 6, 25, 0, 0, 0, 0, time.UTC)
+
+type fixture struct {
+	clock *simtime.Clock
+	sched *simtime.Scheduler
+	svc   *Service
+	space *netsim.AddressSpace
+}
+
+func newFixture(t *testing.T, cfg Config) *fixture {
+	t.Helper()
+	clock := simtime.NewClock(epoch)
+	cfg.Clock = clock
+	f := &fixture{
+		clock: clock,
+		sched: simtime.NewScheduler(clock),
+		svc:   NewService(cfg),
+		space: netsim.NewAddressSpace(rng.New(7), geo.Default()),
+	}
+	if err := f.svc.CreateAccount("alice@honeymail.example", "hunter2", "Alice Smith"); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func (f *fixture) endpoint(t *testing.T, city, ua string) netsim.Endpoint {
+	t.Helper()
+	ep, err := f.space.FromCity(city)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep.UserAgent = ua
+	return ep
+}
+
+func (f *fixture) login(t *testing.T) *Session {
+	t.Helper()
+	se, err := f.svc.Login("alice@honeymail.example", "hunter2", f.svc.NewCookie(), f.endpoint(t, "London", ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return se
+}
+
+func TestCreateAccountDuplicate(t *testing.T) {
+	f := newFixture(t, Config{})
+	if err := f.svc.CreateAccount("alice@honeymail.example", "x", "A"); !errors.Is(err, ErrAccountExists) {
+		t.Fatalf("err = %v, want ErrAccountExists", err)
+	}
+}
+
+func TestLoginChecksCredentials(t *testing.T) {
+	f := newFixture(t, Config{})
+	if _, err := f.svc.Login("nobody@x", "p", "", f.endpoint(t, "London", "")); !errors.Is(err, ErrNoSuchAccount) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := f.svc.Login("alice@honeymail.example", "wrong", "", f.endpoint(t, "London", "")); !errors.Is(err, ErrBadPassword) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLoginRecordsAccess(t *testing.T) {
+	f := newFixture(t, Config{})
+	ep := f.endpoint(t, "Paris", netsim.UserAgentFor(rng.New(1), netsim.BrowserFirefox))
+	cookie := f.svc.NewCookie()
+	if _, err := f.svc.Login("alice@honeymail.example", "hunter2", cookie, ep); err != nil {
+		t.Fatal(err)
+	}
+	page, err := f.svc.ActivityPage("alice@honeymail.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page) != 1 {
+		t.Fatalf("activity rows = %d, want 1", len(page))
+	}
+	acc := page[0]
+	if acc.Cookie != cookie || acc.City != "Paris" || acc.Country != "France" {
+		t.Fatalf("access = %+v", acc)
+	}
+	if acc.Browser != netsim.BrowserFirefox || acc.Device != netsim.DeviceDesktop {
+		t.Fatalf("fingerprint = %v/%v", acc.Browser, acc.Device)
+	}
+	if acc.Visits != 1 || !acc.First.Equal(epoch) || !acc.Last.Equal(epoch) {
+		t.Fatalf("timing = %+v", acc)
+	}
+}
+
+func TestRepeatCookieUpdatesTLast(t *testing.T) {
+	f := newFixture(t, Config{})
+	cookie := f.svc.NewCookie()
+	ep := f.endpoint(t, "Paris", "")
+	if _, err := f.svc.Login("alice@honeymail.example", "hunter2", cookie, ep); err != nil {
+		t.Fatal(err)
+	}
+	f.sched.RunFor(48 * time.Hour)
+	if _, err := f.svc.Login("alice@honeymail.example", "hunter2", cookie, ep); err != nil {
+		t.Fatal(err)
+	}
+	page, _ := f.svc.ActivityPage("alice@honeymail.example")
+	if len(page) != 1 {
+		t.Fatalf("repeat cookie created extra row: %d", len(page))
+	}
+	if got := page[0].Last.Sub(page[0].First); got != 48*time.Hour {
+		t.Fatalf("tlast - t0 = %v, want 48h", got)
+	}
+	if page[0].Visits != 2 {
+		t.Fatalf("visits = %d, want 2", page[0].Visits)
+	}
+}
+
+func TestTorAccessHasNoLocation(t *testing.T) {
+	f := newFixture(t, Config{})
+	ep := f.space.TorExit()
+	if _, err := f.svc.Login("alice@honeymail.example", "hunter2", f.svc.NewCookie(), ep); err != nil {
+		t.Fatal(err)
+	}
+	page, _ := f.svc.ActivityPage("alice@honeymail.example")
+	if page[0].City != "" || page[0].HasPoint {
+		t.Fatalf("tor access should be locationless: %+v", page[0])
+	}
+	if page[0].Browser != netsim.BrowserUnknown || page[0].Device != netsim.DeviceUnknown {
+		t.Fatalf("empty UA should fingerprint unknown: %+v", page[0])
+	}
+}
+
+func TestSeedAndCounts(t *testing.T) {
+	f := newFixture(t, Config{})
+	for i := 0; i < 3; i++ {
+		if _, err := f.svc.Seed("alice@honeymail.example", FolderInbox, "bob@x", "alice@honeymail.example", "s", "b", epoch.Add(-time.Hour)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.svc.Seed("alice@honeymail.example", FolderSent, "alice@honeymail.example", "bob@x", "s", "b", epoch.Add(-time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	c, err := f.svc.Counts("alice@honeymail.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Inbox != 3 || c.Sent != 1 || c.Unread != 3 {
+		t.Fatalf("counts = %+v", c)
+	}
+	// Seeding must not journal events (pre-leak population is not activity).
+	if got := len(f.svc.Journal("alice@honeymail.example")); got != 0 {
+		t.Fatalf("journal after seed = %d entries, want 0", got)
+	}
+}
+
+func TestReadMarksAndJournals(t *testing.T) {
+	f := newFixture(t, Config{})
+	id, _ := f.svc.Seed("alice@honeymail.example", FolderInbox, "bob@x", "alice@honeymail.example", "payroll", "wire transfer details", epoch.Add(-time.Hour))
+	se := f.login(t)
+	m, err := se.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Read {
+		t.Fatal("message not marked read")
+	}
+	// Second read of same message journals nothing new.
+	if _, err := se.Read(id); err != nil {
+		t.Fatal(err)
+	}
+	reads := 0
+	for _, e := range f.svc.Journal("alice@honeymail.example") {
+		if e.Kind == EventRead {
+			reads++
+		}
+	}
+	if reads != 1 {
+		t.Fatalf("read events = %d, want 1", reads)
+	}
+}
+
+func TestStar(t *testing.T) {
+	f := newFixture(t, Config{})
+	id, _ := f.svc.Seed("alice@honeymail.example", FolderInbox, "b@x", "alice@honeymail.example", "s", "b", epoch)
+	se := f.login(t)
+	if err := se.Star(id); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := f.svc.Counts("alice@honeymail.example")
+	if c.Starred != 1 {
+		t.Fatalf("starred = %d", c.Starred)
+	}
+}
+
+func TestSearchMatchesAndLogs(t *testing.T) {
+	f := newFixture(t, Config{})
+	f.svc.Seed("alice@honeymail.example", FolderInbox, "b@x", "a", "Wire transfer confirmation", "the PAYMENT settled", epoch)
+	f.svc.Seed("alice@honeymail.example", FolderInbox, "b@x", "a", "lunch", "sandwiches", epoch)
+	se := f.login(t)
+	hits, err := se.Search("payment transfer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0].Subject != "Wire transfer confirmation" {
+		t.Fatalf("hits = %+v", hits)
+	}
+	if log := f.svc.SearchLog("alice@honeymail.example"); len(log) != 1 || log[0] != "payment transfer" {
+		t.Fatalf("search log = %v", log)
+	}
+	if none, _ := se.Search("bitcoin"); len(none) != 0 {
+		t.Fatalf("unexpected hits: %v", none)
+	}
+}
+
+func TestDraftLifecycle(t *testing.T) {
+	f := newFixture(t, Config{})
+	se := f.login(t)
+	id, err := se.CreateDraft("victim@x", "hello", "first version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := se.UpdateDraft(id, "victim@x", "hello", "second version"); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := f.svc.Snapshot("alice@honeymail.example")
+	if snap.Drafts[id] != "second version" {
+		t.Fatalf("draft body = %q", snap.Drafts[id])
+	}
+	// Sending the draft moves it out of drafts into sent.
+	if err := se.SendDraft(id); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := f.svc.Counts("alice@honeymail.example")
+	if c.Drafts != 0 || c.Sent != 1 {
+		t.Fatalf("counts after send = %+v", c)
+	}
+}
+
+func TestUpdateNonDraftFails(t *testing.T) {
+	f := newFixture(t, Config{})
+	id, _ := f.svc.Seed("alice@honeymail.example", FolderInbox, "b@x", "a", "s", "b", epoch)
+	se := f.login(t)
+	if err := se.UpdateDraft(id, "x", "y", "z"); !errors.Is(err, ErrNotADraft) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSendUsesSendFromOverride(t *testing.T) {
+	var gotFrom, gotTo string
+	out := OutboundFunc(func(from, to, subject, body string, at time.Time) error {
+		gotFrom, gotTo = from, to
+		return nil
+	})
+	f := newFixture(t, Config{Outbound: out})
+	if err := f.svc.SetSendFrom("alice@honeymail.example", "sink@sinkhole.example"); err != nil {
+		t.Fatal(err)
+	}
+	se := f.login(t)
+	if _, err := se.Send("victim@real.example", "hi", "body"); err != nil {
+		t.Fatal(err)
+	}
+	if gotFrom != "sink@sinkhole.example" || gotTo != "victim@real.example" {
+		t.Fatalf("delivered %s -> %s", gotFrom, gotTo)
+	}
+}
+
+func TestChangePasswordInvalidatesOtherSessions(t *testing.T) {
+	f := newFixture(t, Config{})
+	monitor := f.login(t)
+	hijacker := f.login(t)
+	if err := hijacker.ChangePassword("owned"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := monitor.List(FolderInbox); !errors.Is(err, ErrSessionExpired) {
+		t.Fatalf("old session err = %v, want ErrSessionExpired", err)
+	}
+	// Hijacker's own session survives.
+	if _, err := hijacker.List(FolderInbox); err != nil {
+		t.Fatal(err)
+	}
+	// Old password no longer works; new one does.
+	if _, err := f.svc.Login("alice@honeymail.example", "hunter2", "", f.endpoint(t, "London", "")); !errors.Is(err, ErrBadPassword) {
+		t.Fatalf("old password err = %v", err)
+	}
+	if _, err := f.svc.Login("alice@honeymail.example", "owned", "", f.endpoint(t, "London", "")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotSurvivesPasswordChangeAndSuspension(t *testing.T) {
+	// §4.2: "even after losing control of the accounts, our monitoring
+	// scripts embedded in the accounts keep running".
+	f := newFixture(t, Config{})
+	id, _ := f.svc.Seed("alice@honeymail.example", FolderInbox, "b@x", "a", "s", "b", epoch)
+	se := f.login(t)
+	se.Read(id)
+	se.ChangePassword("owned")
+	f.svc.Suspend("alice@honeymail.example", "test")
+	snap, err := f.svc.Snapshot("alice@honeymail.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Read) != 1 || snap.Read[0] != id {
+		t.Fatalf("snapshot read = %v", snap.Read)
+	}
+}
+
+func TestSuspensionBlocksLoginAndOps(t *testing.T) {
+	f := newFixture(t, Config{})
+	se := f.login(t)
+	f.svc.Suspend("alice@honeymail.example", "abuse")
+	if !f.svc.Suspended("alice@honeymail.example") || f.svc.SuspendedCount() != 1 {
+		t.Fatal("suspension not recorded")
+	}
+	if _, err := f.svc.Login("alice@honeymail.example", "hunter2", "", f.endpoint(t, "London", "")); !errors.Is(err, ErrSuspended) {
+		t.Fatalf("login err = %v", err)
+	}
+	if _, err := se.List(FolderInbox); !errors.Is(err, ErrSuspended) {
+		t.Fatalf("op err = %v", err)
+	}
+	// Double-suspend journals once.
+	f.svc.Suspend("alice@honeymail.example", "again")
+	n := 0
+	for _, e := range f.svc.Journal("alice@honeymail.example") {
+		if e.Kind == EventSuspend {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("suspend events = %d, want 1", n)
+	}
+}
+
+func TestAbuseDetectionSuspendsSpammer(t *testing.T) {
+	f := newFixture(t, Config{Abuse: AbuseConfig{Window: time.Hour, MaxSendsPerWindow: 5, MaxRecipientsPerWindow: 100}})
+	se := f.login(t)
+	var err error
+	for i := 0; i < 6; i++ {
+		_, err = se.Send("victim@x", "spam", "buy now")
+		if err != nil {
+			break
+		}
+	}
+	if err != nil && !errors.Is(err, ErrSuspended) {
+		t.Fatalf("unexpected err %v", err)
+	}
+	if !f.svc.Suspended("alice@honeymail.example") {
+		t.Fatal("spammer not suspended")
+	}
+}
+
+func TestAbuseFanOutDetection(t *testing.T) {
+	f := newFixture(t, Config{Abuse: AbuseConfig{Window: time.Hour, MaxSendsPerWindow: 1000, MaxRecipientsPerWindow: 4}})
+	se := f.login(t)
+	for i := 0; i < 5; i++ {
+		to := string(rune('a'+i)) + "@victims.example"
+		se.Send(to, "s", "b")
+	}
+	if !f.svc.Suspended("alice@honeymail.example") {
+		t.Fatal("fan-out spammer not suspended")
+	}
+}
+
+func TestAbuseWindowSlides(t *testing.T) {
+	f := newFixture(t, Config{Abuse: AbuseConfig{Window: time.Hour, MaxSendsPerWindow: 3, MaxRecipientsPerWindow: 100}})
+	se := f.login(t)
+	for day := 0; day < 5; day++ {
+		if _, err := se.Send("friend@x", "s", "b"); err != nil {
+			t.Fatalf("slow sender suspended on day %d: %v", day, err)
+		}
+		f.sched.RunFor(24 * time.Hour)
+	}
+	if f.svc.Suspended("alice@honeymail.example") {
+		t.Fatal("slow sender should not be suspended")
+	}
+}
+
+func TestLoginRiskAblation(t *testing.T) {
+	f := newFixture(t, Config{LoginRisk: LoginRiskConfig{Enabled: true, BlockTor: true, BlockProxies: true, MaxKmFromHome: 1000}})
+	f.svc.SetHomeLocation("alice@honeymail.example", 51.5074, -0.1278) // London
+	// Tor blocked.
+	if _, err := f.svc.Login("alice@honeymail.example", "hunter2", "", f.space.TorExit()); !errors.Is(err, ErrLoginBlocked) {
+		t.Fatalf("tor err = %v", err)
+	}
+	// Far city blocked.
+	if _, err := f.svc.Login("alice@honeymail.example", "hunter2", "", f.endpoint(t, "Tokyo", "")); !errors.Is(err, ErrLoginBlocked) {
+		t.Fatalf("far err = %v", err)
+	}
+	// Nearby city allowed.
+	if _, err := f.svc.Login("alice@honeymail.example", "hunter2", "", f.endpoint(t, "Paris", "")); err != nil {
+		t.Fatalf("near err = %v", err)
+	}
+	blocked := 0
+	for _, e := range f.svc.Journal("alice@honeymail.example") {
+		if e.Kind == EventLoginBlocked {
+			blocked++
+		}
+	}
+	if blocked != 2 {
+		t.Fatalf("blocked events = %d, want 2", blocked)
+	}
+}
+
+func TestDeliverInbound(t *testing.T) {
+	f := newFixture(t, Config{})
+	id, err := f.svc.DeliverInbound("alice@honeymail.example", "noreply@forum.example", "Confirm your registration", "click here")
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := f.login(t)
+	m, err := se.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.From != "noreply@forum.example" || m.Folder != FolderInbox {
+		t.Fatalf("message = %+v", m)
+	}
+}
+
+func TestDeleteMovesToTrashAndSearchSkipsIt(t *testing.T) {
+	f := newFixture(t, Config{})
+	id, _ := f.svc.Seed("alice@honeymail.example", FolderInbox, "b@x", "a", "bitcoin wallet", "keys inside", epoch)
+	se := f.login(t)
+	if err := se.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := se.Search("bitcoin"); len(hits) != 0 {
+		t.Fatal("search returned trashed message")
+	}
+}
+
+func TestObserverSeesEvents(t *testing.T) {
+	f := newFixture(t, Config{})
+	var kinds []EventKind
+	f.svc.Observe(func(e Event) { kinds = append(kinds, e.Kind) })
+	se := f.login(t)
+	se.Send("x@y", "s", "b")
+	want := []EventKind{EventLogin, EventSend}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestListSortedChronologically(t *testing.T) {
+	f := newFixture(t, Config{})
+	f.svc.Seed("alice@honeymail.example", FolderInbox, "b@x", "a", "late", "b", epoch.Add(2*time.Hour))
+	f.svc.Seed("alice@honeymail.example", FolderInbox, "b@x", "a", "early", "b", epoch.Add(time.Hour))
+	se := f.login(t)
+	msgs, err := se.List(FolderInbox)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 2 || msgs[0].Subject != "early" || msgs[1].Subject != "late" {
+		t.Fatalf("order = %v, %v", msgs[0].Subject, msgs[1].Subject)
+	}
+}

@@ -1,0 +1,300 @@
+package webmail
+
+import (
+	"sort"
+	"strings"
+)
+
+// Session is an authenticated view of one account bound to a cookie.
+// A password change invalidates every session opened before it, which
+// is how hijackers lock out both the legitimate owner and our
+// activity-page scraper (§4.2).
+type Session struct {
+	svc        *Service
+	account    string
+	cookie     string
+	passwordAt int // password generation at login time
+}
+
+// Account returns the mailbox address the session is bound to.
+func (se *Session) Account() string { return se.account }
+
+// Cookie returns the browser cookie identifier of this session.
+func (se *Session) Cookie() string { return se.cookie }
+
+// touch revalidates the session, updates the activity row's tlast, and
+// returns the account under lock. Callers must hold no locks.
+func (se *Session) touch() (*account, error) {
+	a, ok := se.svc.accounts[se.account]
+	if !ok {
+		return nil, ErrNoSuchAccount
+	}
+	if a.suspended {
+		return nil, ErrSuspended
+	}
+	if a.passwordChanges != se.passwordAt {
+		return nil, ErrSessionExpired
+	}
+	if acc, ok := a.accesses[se.cookie]; ok {
+		now := se.svc.clock.Now()
+		if now.After(acc.Last) {
+			acc.Last = now
+		}
+	}
+	return a, nil
+}
+
+// List returns the messages of a folder, oldest first.
+func (se *Session) List(folder Folder) ([]Message, error) {
+	se.svc.mu.Lock()
+	defer se.svc.mu.Unlock()
+	a, err := se.touch()
+	if err != nil {
+		return nil, err
+	}
+	var out []Message
+	for _, m := range a.messages {
+		if m.Folder == folder {
+			out = append(out, m.clone())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Date.Equal(out[j].Date) {
+			return out[i].Date.Before(out[j].Date)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out, nil
+}
+
+// Read opens a message, marking it read and journaling the action —
+// the signal the Apps-Script scan picks up (§3.1).
+func (se *Session) Read(id MessageID) (Message, error) {
+	se.svc.mu.Lock()
+	defer se.svc.mu.Unlock()
+	a, err := se.touch()
+	if err != nil {
+		return Message{}, err
+	}
+	m, err := a.messageLocked(id)
+	if err != nil {
+		return Message{}, err
+	}
+	if !m.Read {
+		m.Read = true
+		se.svc.journalLocked(a, Event{
+			Time: se.svc.clock.Now(), Kind: EventRead,
+			Account: se.account, Cookie: se.cookie, Message: id,
+		})
+	}
+	return m.clone(), nil
+}
+
+// Star marks a message starred (favorited).
+func (se *Session) Star(id MessageID) error {
+	se.svc.mu.Lock()
+	defer se.svc.mu.Unlock()
+	a, err := se.touch()
+	if err != nil {
+		return err
+	}
+	m, err := a.messageLocked(id)
+	if err != nil {
+		return err
+	}
+	if !m.Starred {
+		m.Starred = true
+		se.svc.journalLocked(a, Event{
+			Time: se.svc.clock.Now(), Kind: EventStar,
+			Account: se.account, Cookie: se.cookie, Message: id,
+		})
+	}
+	return nil
+}
+
+// Search runs a keyword query over subject and body, journals it, and
+// returns matches oldest-first. Ground truth only: the paper's
+// analysts could not see queries and inferred them via TF-IDF (§4.6).
+func (se *Session) Search(query string) ([]Message, error) {
+	se.svc.mu.Lock()
+	defer se.svc.mu.Unlock()
+	a, err := se.touch()
+	if err != nil {
+		return nil, err
+	}
+	q := strings.TrimSpace(query)
+	a.searchLog = append(a.searchLog, q)
+	se.svc.journalLocked(a, Event{
+		Time: se.svc.clock.Now(), Kind: EventSearch,
+		Account: se.account, Cookie: se.cookie, Detail: q,
+	})
+	var out []Message
+	for _, m := range a.messages {
+		if m.Folder != FolderTrash && matchQuery(m, q) {
+			out = append(out, m.clone())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Date.Equal(out[j].Date) {
+			return out[i].Date.Before(out[j].Date)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out, nil
+}
+
+// CreateDraft stores a new draft and returns its ID.
+func (se *Session) CreateDraft(to, subject, body string) (MessageID, error) {
+	se.svc.mu.Lock()
+	defer se.svc.mu.Unlock()
+	a, err := se.touch()
+	if err != nil {
+		return 0, err
+	}
+	id := a.nextID
+	a.nextID++
+	a.messages[id] = &Message{
+		ID: id, Folder: FolderDrafts, From: se.account, To: to,
+		Subject: subject, Body: body, Date: se.svc.clock.Now(),
+		Read: true,
+	}
+	se.svc.journalLocked(a, Event{
+		Time: se.svc.clock.Now(), Kind: EventDraftCreate,
+		Account: se.account, Cookie: se.cookie, Message: id,
+	})
+	return id, nil
+}
+
+// UpdateDraft replaces a draft's content.
+func (se *Session) UpdateDraft(id MessageID, to, subject, body string) error {
+	se.svc.mu.Lock()
+	defer se.svc.mu.Unlock()
+	a, err := se.touch()
+	if err != nil {
+		return err
+	}
+	m, err := a.messageLocked(id)
+	if err != nil {
+		return err
+	}
+	if m.Folder != FolderDrafts {
+		return ErrNotADraft
+	}
+	m.To, m.Subject, m.Body = to, subject, body
+	m.Date = se.svc.clock.Now()
+	se.svc.journalLocked(a, Event{
+		Time: se.svc.clock.Now(), Kind: EventDraftUpdate,
+		Account: se.account, Cookie: se.cookie, Message: id,
+	})
+	return nil
+}
+
+// Send composes and sends a message. The platform rewrites the
+// envelope sender when a send-from override is configured (the honey
+// sinkhole diversion) and runs abuse detection, which may suspend the
+// account mid-call the way Google suspended spamming honey accounts.
+// The sent copy lands in the Sent folder either way; suspension takes
+// effect for subsequent operations.
+func (se *Session) Send(to, subject, body string) (MessageID, error) {
+	se.svc.mu.Lock()
+	defer se.svc.mu.Unlock()
+	a, err := se.touch()
+	if err != nil {
+		return 0, err
+	}
+	now := se.svc.clock.Now()
+	from := se.account
+	if a.sendFrom != "" {
+		from = a.sendFrom
+	}
+	id := a.nextID
+	a.nextID++
+	a.messages[id] = &Message{
+		ID: id, Folder: FolderSent, From: se.account, To: to,
+		Subject: subject, Body: body, Date: now, Read: true,
+	}
+	se.svc.journalLocked(a, Event{
+		Time: now, Kind: EventSend,
+		Account: se.account, Cookie: se.cookie, Message: id, Detail: to,
+	})
+	if err := se.svc.outbound.Deliver(from, to, subject, body, now); err != nil {
+		return id, err
+	}
+	if verdict := se.svc.abuse.recordSend(se.account, to, now); verdict != "" {
+		a.suspended = true
+		se.svc.journalLocked(a, Event{Time: now, Kind: EventSuspend, Account: se.account, Detail: verdict})
+	}
+	return id, nil
+}
+
+// SendDraft sends an existing draft.
+func (se *Session) SendDraft(id MessageID) error {
+	se.svc.mu.Lock()
+	a, err := se.touch()
+	if err != nil {
+		se.svc.mu.Unlock()
+		return err
+	}
+	m, err := a.messageLocked(id)
+	if err != nil || m.Folder != FolderDrafts {
+		se.svc.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		return ErrNotADraft
+	}
+	to, subject, body := m.To, m.Subject, m.Body
+	delete(a.messages, id)
+	se.svc.mu.Unlock()
+	_, err = se.Send(to, subject, body)
+	return err
+}
+
+// ChangePassword rotates the password, invalidating all other
+// sessions (including the monitor's scraper — the hijacker behaviour
+// of §4.2). The calling session stays valid.
+func (se *Session) ChangePassword(newPassword string) error {
+	se.svc.mu.Lock()
+	defer se.svc.mu.Unlock()
+	a, err := se.touch()
+	if err != nil {
+		return err
+	}
+	a.password = newPassword
+	a.passwordChanges++
+	se.passwordAt = a.passwordChanges
+	se.svc.journalLocked(a, Event{
+		Time: se.svc.clock.Now(), Kind: EventPasswordChange,
+		Account: se.account, Cookie: se.cookie,
+	})
+	return nil
+}
+
+// ActivityPage returns the account's access rows; this is what the
+// monitoring scraper reads after logging in (§3.1).
+func (se *Session) ActivityPage() ([]Access, error) {
+	se.svc.mu.Lock()
+	a, err := se.touch()
+	se.svc.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	_ = a
+	return se.svc.ActivityPage(se.account)
+}
+
+// Delete moves a message to trash.
+func (se *Session) Delete(id MessageID) error {
+	se.svc.mu.Lock()
+	defer se.svc.mu.Unlock()
+	a, err := se.touch()
+	if err != nil {
+		return err
+	}
+	m, err := a.messageLocked(id)
+	if err != nil {
+		return err
+	}
+	m.Folder = FolderTrash
+	return nil
+}
