@@ -11,6 +11,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -227,7 +228,7 @@ func BenchmarkCaseStudies(b *testing.B) {
 		}
 		artifact = fmt.Sprintf(
 			"blackmail sessions=%d (paper: 3 accounts)\nabandoned draft copies captured=%d (paper: 12 unique drafts)\nforum inquiries logged=%d",
-			exp.Engine().Blackmailers(), drafts, len(exp.Registry().AllInquiries()))
+			exp.Blackmailers(), drafts, len(exp.AllInquiries()))
 	}
 	printOnce("Case studies (§4.7)", artifact)
 }
@@ -441,5 +442,49 @@ func BenchmarkMonitorScrape(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mon.ScrapeAll(clock.Now())
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Sharded engine: the scaling benchmark behind the fleet-scale design.
+//
+// BenchmarkShardedRun executes the full Table 1 deployment end to end
+// (Setup + Leak + Run) at several (shards, scale) points. The merged
+// dataset for a fixed seed is identical at every shard count — only
+// wall-clock time changes — so the variants measure pure scheduling
+// parallelism. Run with:
+//
+//	go test -bench BenchmarkShardedRun -benchtime 1x
+func benchShardedRun(b *testing.B, shards, scale int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		exp, err := honeynet.New(honeynet.Config{
+			Seed:        42,
+			Shards:      shards,
+			ScaleFactor: scale,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := exp.RunAll(); err != nil {
+			b.Fatal(err)
+		}
+		if ds := exp.Dataset(); len(ds.Accesses) == 0 {
+			b.Fatal("sharded run produced an empty dataset")
+		}
+	}
+}
+
+func BenchmarkShardedRun(b *testing.B) {
+	shardCounts := []int{1, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 4 {
+		shardCounts = append(shardCounts, n)
+	}
+	for _, scale := range []int{1, 10} {
+		for _, shards := range shardCounts {
+			b.Run(fmt.Sprintf("shards=%d/scale=%d", shards, scale), func(b *testing.B) {
+				benchShardedRun(b, shards, scale)
+			})
+		}
 	}
 }

@@ -4,9 +4,15 @@
 // Usage:
 //
 //	honeynet [-seed N] [-days N] [-experiment id] [-resamples N]
+//	         [-shards N] [-scale K]
 //
 // Experiment ids: overview, table1, fig1, fig2, fig3, fig4, fig5a,
 // fig5b, cvm, table2, sysconfig, cases, sophistication, all.
+//
+// -shards partitions the run across N parallel schedulers (0 selects
+// one per CPU); the merged dataset for a fixed seed is identical at
+// any shard count. -scale replicates the Table 1 plan K×, simulating
+// 100·K honey accounts.
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -28,22 +35,34 @@ func main() {
 		days       = flag.Int("days", 236, "observation window in days (paper: 236)")
 		experiment = flag.String("experiment", "all", "which artifact to print (overview, table1, fig1..fig5b, cvm, table2, sysconfig, cases, sophistication, all)")
 		resamples  = flag.Int("resamples", 2000, "Cramér–von Mises permutation resamples")
+		shards     = flag.Int("shards", 1, "parallel shard schedulers (0 = one per CPU; dataset is shard-count invariant)")
+		scale      = flag.Int("scale", 1, "replicate the deployment plan K× (simulates 100·K accounts for Table 1)")
 	)
 	flag.Parse()
 
+	if *shards == 0 {
+		*shards = runtime.NumCPU()
+	}
+	if *scale < 1 {
+		*scale = 1
+	}
 	exp, err := honeynet.New(honeynet.Config{
-		Seed:     *seed,
-		Duration: time.Duration(*days) * 24 * time.Hour,
+		Seed:        *seed,
+		Duration:    time.Duration(*days) * 24 * time.Hour,
+		Shards:      *shards,
+		ScaleFactor: *scale,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "running %d-day deployment (seed %d)...\n", *days, *seed)
+	fmt.Fprintf(os.Stderr, "running %d-day deployment (seed %d, %d shard(s), scale %d×)...\n",
+		*days, *seed, exp.Shards(), *scale)
 	start := time.Now()
 	if err := exp.RunAll(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "done in %v\n\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "done in %v (%d events)\n\n",
+		time.Since(start).Round(time.Millisecond), exp.ShardSet().Fired())
 
 	ds := exp.Dataset()
 	cs := analysis.Classify(ds, analysis.ClassifyOptions{})
@@ -83,7 +102,7 @@ func main() {
 				}
 			}
 			return fmt.Sprintf("Case studies (§4.7)\nblackmail sessions: %d\ndraft copies captured: %d\nforum inquiries: %d\n",
-				exp.Engine().Blackmailers(), drafts, len(exp.Registry().AllInquiries()))
+				exp.Blackmailers(), drafts, len(exp.AllInquiries()))
 		},
 		"sophistication": func() string {
 			return report.Sophistication(

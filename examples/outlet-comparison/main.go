@@ -34,10 +34,10 @@ func main() {
 	fmt.Println(report.Figure3(analysis.TimeToFirstAccess(ds)))
 	fmt.Println(report.Figure4(analysis.Timeline(ds)))
 
-	waves := exp.Engine().ResaleWaves()
+	waves := exp.ResaleWaves()
 	fmt.Printf("Malware aggregation/resale waves hit %d accounts (expect bursts ~day 30 and ~day 100)\n", len(waves))
 
-	inq := exp.Registry().AllInquiries()
+	inq := exp.AllInquiries()
 	fmt.Printf("Forum buyer inquiries logged (never answered, per protocol): %d\n", len(inq))
 	for i, q := range inq {
 		if i >= 3 {

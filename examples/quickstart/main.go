@@ -51,5 +51,5 @@ func main() {
 			a.Cookie, a.First.Sub(a.LeakTime).Hours()/24, a.Outlet, where)
 	}
 	fmt.Printf("\nSinkholed outbound messages: %d (none delivered to real recipients)\n",
-		exp.Sinkhole().Count())
+		exp.SinkholeCount())
 }

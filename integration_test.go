@@ -58,10 +58,10 @@ func TestContainment(t *testing.T) {
 			}
 		}
 	}
-	if got := exp.Sinkhole().Count(); got != sends {
+	if got := exp.SinkholeCount(); got != sends {
 		t.Fatalf("sinkhole holds %d messages, platform journaled %d sends", got, sends)
 	}
-	for _, m := range exp.Sinkhole().All() {
+	for _, m := range exp.Sinkholed() {
 		if m.From != "capture@sinkhole.example" {
 			t.Fatalf("escaped envelope sender %q", m.From)
 		}
@@ -76,7 +76,7 @@ func TestContainment(t *testing.T) {
 func TestMonitorFidelity(t *testing.T) {
 	exp, ds := runMedium(t, 22)
 	truth := map[string]attacker.Record{}
-	for _, r := range exp.Engine().Records() {
+	for _, r := range exp.Records() {
 		truth[r.Cookie] = r
 	}
 	for _, a := range ds.Accesses {
@@ -109,7 +109,7 @@ func TestClassificationAccuracy(t *testing.T) {
 	exp, ds := runMedium(t, 23)
 	spamAccounts := map[string]bool{}
 	hijackAccounts := map[string]bool{}
-	for _, r := range exp.Engine().Records() {
+	for _, r := range exp.Records() {
 		if r.Classes.Has(attacker.ClassSpammer) {
 			spamAccounts[r.Account] = true
 		}

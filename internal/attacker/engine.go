@@ -110,6 +110,11 @@ type Config struct {
 	Blacklist *netsim.Blacklist
 	Gazetteer *geo.Gazetteer
 	Src       *rng.Source
+	// Cookies, when set, issues this engine's browser cookies.
+	// Sharded experiments give each shard-block engine a prefixed jar
+	// so cookie values don't depend on cross-shard interleaving; nil
+	// falls back to the platform's jar.
+	Cookies *netsim.CookieJar
 }
 
 // Engine spawns and drives attackers.
@@ -120,6 +125,7 @@ type Engine struct {
 	bl    *netsim.Blacklist
 	gaz   *geo.Gazetteer
 	src   *rng.Source
+	jar   *netsim.CookieJar // nil -> use the platform's jar
 
 	mu           sync.Mutex
 	records      []*Record
@@ -143,10 +149,20 @@ func New(cfg Config) *Engine {
 		bl:          cfg.Blacklist,
 		gaz:         cfg.Gazetteer,
 		src:         cfg.Src,
+		jar:         cfg.Cookies,
 		resaleWaves: make(map[string][]time.Time),
 		leakTimes:   make(map[string]time.Time),
 		passwords:   make(map[string]string),
 	}
+}
+
+// newCookie issues a browser cookie from the engine's jar (or the
+// platform's when none was configured).
+func (e *Engine) newCookie() string {
+	if e.jar != nil {
+		return e.jar.Issue()
+	}
+	return e.svc.NewCookie()
 }
 
 // Records returns the ground-truth attacker records, sorted by first
@@ -276,7 +292,7 @@ func (e *Engine) spawn(account, password string, label OutletLabel, pop Populati
 		FirstAt: at,
 	}
 	ep := e.chooseEndpoint(rec, pop, hint)
-	rec.Cookie = e.svc.NewCookie()
+	rec.Cookie = e.newCookie()
 
 	e.mu.Lock()
 	e.records = append(e.records, rec)

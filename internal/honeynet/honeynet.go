@@ -1,14 +1,25 @@
 // Package honeynet is the core of the reproduction: the end-to-end
 // honey-account experiment of the paper. It builds the webmail
-// platform, creates and seeds 100 honey accounts, instruments them
+// platform, creates and seeds the honey accounts, instruments them
 // with scripts, wires the monitoring pipeline and sinkhole, leaks the
 // credentials per Table 1 (paste sites, underground forums,
 // information-stealing malware), runs seven months of virtual time,
 // and exports the dataset every analysis and figure is computed from.
+//
+// The engine is sharded for fleet-scale runs: the experiment plan is
+// partitioned across Config.Shards parallel schedulers (see shard.go
+// for the shard/block split), each shard drives its own webmail
+// account partition, monitoring pipeline and sinkhole, and the
+// per-shard observations merge into one analysis.Dataset at the end.
+// For a fixed seed the merged dataset is independent of the shard
+// count, because every stochastic stream derives from the owning
+// plan block, not from the shard executing it. Config.ScaleFactor
+// replicates the plan K× to simulate 100·K-account deployments.
 package honeynet
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/analysis"
@@ -17,7 +28,6 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/geo"
 	"repro/internal/malnet"
-	"repro/internal/monitor"
 	"repro/internal/netsim"
 	"repro/internal/outlets"
 	"repro/internal/rng"
@@ -56,6 +66,15 @@ type Config struct {
 	// LoginRisk forwards to the platform (paper: disabled on honey
 	// accounts; the ablation enables it).
 	LoginRisk webmail.LoginRiskConfig
+	// Shards partitions the plan across this many parallel schedulers
+	// (default 1: serial, the paper's setup). The merged dataset for a
+	// fixed seed is identical at any shard count; only wall-clock time
+	// changes. Values above the number of plan blocks are clamped.
+	Shards int
+	// ScaleFactor replicates the plan this many times (default 1),
+	// simulating ScaleFactor·100 accounts for the Table 1 plan. Each
+	// replica draws fresh, independent randomness.
+	ScaleFactor int
 }
 
 func (c Config) withDefaults() Config {
@@ -77,30 +96,32 @@ func (c Config) withDefaults() Config {
 	if c.ScrapeInterval <= 0 {
 		c.ScrapeInterval = time.Hour
 	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.ScaleFactor <= 0 {
+		c.ScaleFactor = 1
+	}
 	return c
 }
 
-// Experiment owns one full deployment.
+// Experiment owns one full deployment, sharded across parallel
+// schedulers.
 type Experiment struct {
-	cfg   Config
-	clock *simtime.Clock
-	sched *simtime.Scheduler
-	src   *rng.Source
+	cfg  Config
+	plan []GroupSpec // expanded (ScaleFactor applied)
+	src  *rng.Source
 
-	gaz   *geo.Gazetteer
-	space *netsim.AddressSpace
-	bl    *netsim.Blacklist
+	gaz *geo.Gazetteer
+	bl  *netsim.Blacklist
+	svc *webmail.Service
 
-	svc     *webmail.Service
-	sink    *sinkhole.Store
-	runtime *appscript.Runtime
-	store   *monitor.Store
-	mon     *monitor.Monitor
-	reg     *outlets.Registry
-	sandbox *malnet.Sandbox
-	engine  *attacker.Engine
+	shards []*shard
+	blocks []*block
+	set    *simtime.ShardSet
 
 	assignments []Assignment
+	blockOf     map[string]*block
 	leakTimes   map[string]time.Time
 	contents    map[string]map[int64]string
 	handles     []string // honey email local parts (TF-IDF drop list)
@@ -115,79 +136,164 @@ func New(cfg Config) (*Experiment, error) {
 	if err := ValidatePlan(cfg.Plan); err != nil {
 		return nil, err
 	}
-	clock := simtime.NewClock(cfg.Start)
-	sched := simtime.NewScheduler(clock)
+	plan := expandPlan(cfg.Plan, cfg.ScaleFactor)
+	if cfg.Shards > len(plan) {
+		cfg.Shards = len(plan)
+	}
+	// Every block plus the monitor needs its own IP-range tenant;
+	// beyond that, distinct attackers could silently share addresses.
+	if len(plan)+1 > netsim.TenantSlots {
+		return nil, fmt.Errorf("honeynet: plan expands to %d blocks; at most %d supported (reduce ScaleFactor)",
+			len(plan), netsim.TenantSlots-1)
+	}
 	src := rng.New(cfg.Seed)
 	gaz := geo.Default()
-	space := netsim.NewAddressSpace(src.ForkNamed("address-space"), gaz)
 	bl := netsim.NewBlacklist()
-	sink := sinkhole.NewStore(clock.Now)
-	svc := webmail.NewService(webmail.Config{
-		Clock:     clock,
-		Outbound:  sink,
-		LoginRisk: cfg.LoginRisk,
-	})
-	store := monitor.NewStore()
-	monEP, err := space.FromCity("London") // the researchers' city (§4.1 self-filter)
+
+	// The monitoring infrastructure's network identity: one endpoint,
+	// shared by every shard's scraper, in the researchers' city
+	// (§4.1's self-filter drops all accesses from it). Its address
+	// tenant sits one past the blocks' so it collides with no block.
+	monSpace := netsim.NewAddressSpaceTenant(src.ForkNamed("address-space"), gaz, len(plan))
+	monEP, err := monSpace.FromCity("London")
 	if err != nil {
 		return nil, fmt.Errorf("honeynet: monitor endpoint: %w", err)
 	}
+
+	svc := webmail.NewService(webmail.Config{
+		Clock:      simtime.NewClock(cfg.Start),
+		LoginRisk:  cfg.LoginRisk,
+		Partitions: cfg.Shards,
+	})
+	shards, set, err := newShards(cfg.Shards, cfg, svc, monEP)
+	if err != nil {
+		return nil, err
+	}
 	e := &Experiment{
 		cfg:       cfg,
-		clock:     clock,
-		sched:     sched,
+		plan:      plan,
 		src:       src,
 		gaz:       gaz,
-		space:     space,
 		bl:        bl,
 		svc:       svc,
-		sink:      sink,
-		store:     store,
-		runtime:   appscript.NewRuntime(svc, sched, store),
-		reg:       outlets.NewRegistry(outlets.DefaultSites(), sched, src.ForkNamed("outlets")),
+		shards:    shards,
+		set:       set,
+		blockOf:   make(map[string]*block),
 		leakTimes: make(map[string]time.Time),
 		contents:  make(map[string]map[int64]string),
 	}
-	e.mon = monitor.New(monitor.Config{Service: svc, Scheduler: sched, Store: store, Endpoint: monEP})
-	e.engine = attacker.New(attacker.Config{
-		Service: svc, Scheduler: sched, Space: space,
-		Blacklist: bl, Gazetteer: gaz, Src: src.ForkNamed("attackers"),
-	})
-	e.sandbox = malnet.NewSandbox(malnet.SandboxConfig{}, sched, func(ex malnet.Exfiltration) {
-		e.engine.HandleExfil(ex)
-	})
+	for i, spec := range plan {
+		sh := shards[i%len(shards)]
+		e.blocks = append(e.blocks, newBlock(i, len(plan), spec, sh, src, gaz, bl, svc))
+	}
 	return e, nil
 }
 
 // Accessors used by examples, benches and tests.
-func (e *Experiment) Service() *webmail.Service     { return e.svc }
-func (e *Experiment) Scheduler() *simtime.Scheduler { return e.sched }
-func (e *Experiment) Monitor() *monitor.Monitor     { return e.mon }
-func (e *Experiment) Sinkhole() *sinkhole.Store     { return e.sink }
-func (e *Experiment) Registry() *outlets.Registry   { return e.reg }
-func (e *Experiment) Engine() *attacker.Engine      { return e.engine }
-func (e *Experiment) Blacklist() *netsim.Blacklist  { return e.bl }
-func (e *Experiment) Assignments() []Assignment     { return append([]Assignment(nil), e.assignments...) }
-func (e *Experiment) Runtime() *appscript.Runtime   { return e.runtime }
+func (e *Experiment) Service() *webmail.Service    { return e.svc }
+func (e *Experiment) Blacklist() *netsim.Blacklist { return e.bl }
+func (e *Experiment) Assignments() []Assignment    { return append([]Assignment(nil), e.assignments...) }
+func (e *Experiment) Shards() int                  { return len(e.shards) }
+func (e *Experiment) ShardSet() *simtime.ShardSet  { return e.set }
+
+// Plan returns the expanded (scale-applied) plan the experiment runs.
+func (e *Experiment) Plan() []GroupSpec { return append([]GroupSpec(nil), e.plan...) }
+
+// Installed reports whether an account still has a live monitoring
+// script (routed to the owning shard's Apps-Script runtime).
+func (e *Experiment) Installed(account string) bool {
+	b, ok := e.blockOf[account]
+	return ok && b.shard.runtime.Installed(account)
+}
+
+// Records merges the ground-truth attacker records of every block,
+// ordered by first activity (cookie breaks ties deterministically).
+func (e *Experiment) Records() []attacker.Record {
+	var out []attacker.Record
+	for _, b := range e.blocks {
+		out = append(out, b.engine.Records()...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].FirstAt.Equal(out[j].FirstAt) {
+			return out[i].FirstAt.Before(out[j].FirstAt)
+		}
+		return out[i].Cookie < out[j].Cookie
+	})
+	return out
+}
+
+// Blackmailers sums the §4.7 blackmail sessions across blocks.
+func (e *Experiment) Blackmailers() int {
+	n := 0
+	for _, b := range e.blocks {
+		n += b.engine.Blackmailers()
+	}
+	return n
+}
+
+// ResaleWaves merges the per-account resale-wave timestamps across
+// blocks (account populations are disjoint between blocks).
+func (e *Experiment) ResaleWaves() map[string][]time.Time {
+	out := make(map[string][]time.Time)
+	for _, b := range e.blocks {
+		for acct, waves := range b.engine.ResaleWaves() {
+			out[acct] = append(out[acct], waves...)
+		}
+	}
+	return out
+}
+
+// AllInquiries gathers underground-forum buyer inquiries across every
+// block's outlet registry.
+func (e *Experiment) AllInquiries() []outlets.Inquiry {
+	var out []outlets.Inquiry
+	for _, b := range e.blocks {
+		out = append(out, b.reg.AllInquiries()...)
+	}
+	return out
+}
+
+// SinkholeCount returns the number of captured outbound messages
+// across all shard sinkholes.
+func (e *Experiment) SinkholeCount() int {
+	n := 0
+	for _, sh := range e.shards {
+		n += sh.sink.Count()
+	}
+	return n
+}
+
+// Sinkholed returns every captured outbound message, merged across
+// shard sinkholes in shard order.
+func (e *Experiment) Sinkholed() []sinkhole.StoredMail {
+	var out []sinkhole.StoredMail
+	for _, sh := range e.shards {
+		out = append(out, sh.sink.All()...)
+	}
+	return out
+}
 
 // Setup creates, seeds and instruments the honey accounts (§3.2
-// "Honey account setup"), and starts the monitoring pipeline.
+// "Honey account setup"), and starts the monitoring pipeline. Setup
+// is serial and draws from experiment-global streams in plan order,
+// so its output is independent of the shard count.
 func (e *Experiment) Setup() error {
 	if e.setupDone {
 		return fmt.Errorf("honeynet: Setup called twice")
 	}
-	n := PlanAccounts(e.cfg.Plan)
+	n := PlanAccounts(e.plan)
 	personas := corpus.NewPersonas(e.src.ForkNamed("personas"), n, "honeymail.example")
 	gen := corpus.NewGenerator(e.src.ForkNamed("corpus"), corpus.DefaultConfig())
 
 	seedStart := e.cfg.Start.Add(-180 * 24 * time.Hour)
 	idx := 0
-	for _, g := range e.cfg.Plan {
-		for i := 0; i < g.Count; i++ {
+	for _, b := range e.blocks {
+		b.start = idx
+		for i := 0; i < b.spec.Count; i++ {
 			p := personas[idx]
 			idx++
 			password := fmt.Sprintf("hp-%08x", e.src.Int63()&0xffffffff)
-			if err := e.svc.CreateAccount(p.Email, password, p.FullName()); err != nil {
+			if err := e.svc.CreateAccountIn(b.shard.id, p.Email, password, p.FullName()); err != nil {
 				return fmt.Errorf("honeynet: create %s: %w", p.Email, err)
 			}
 			// All outgoing honey mail diverts to the sinkhole domain.
@@ -208,27 +314,32 @@ func (e *Experiment) Setup() error {
 				}
 				e.contents[p.Email][int64(id)] = m.Subject + "\n" + m.Body
 			}
-			// Install the monitoring script.
+			// Install the monitoring script on the owning shard.
 			opts := appscript.Options{
 				ScanInterval: e.cfg.ScanInterval,
 				Hidden:       !e.cfg.VisibleScripts,
 			}
-			if err := e.runtime.Install(p.Email, opts); err != nil {
+			if err := b.shard.runtime.Install(p.Email, opts); err != nil {
 				return err
 			}
-			e.mon.Track(p.Email, password)
+			b.shard.mon.Track(p.Email, password)
 			e.handles = append(e.handles, p.Handle())
-			e.assignments = append(e.assignments, Assignment{Account: p.Email, Password: password, Group: g})
+			e.blockOf[p.Email] = b
+			e.assignments = append(e.assignments, Assignment{Account: p.Email, Password: password, Group: b.spec})
 		}
+		b.end = idx
 	}
-	e.mon.Start(e.cfg.ScrapeInterval)
+	for _, sh := range e.shards {
+		sh.mon.Start(e.cfg.ScrapeInterval)
+	}
 	e.setupDone = true
 	return nil
 }
 
-// Leak publishes every account's credentials through its group's
+// Leak publishes every account's credentials through its block's
 // channel (§3.2 "Leaking account credentials") and schedules the case
-// studies.
+// studies. Like Setup it runs serially in plan order; the scheduled
+// consequences execute on each block's owning shard.
 func (e *Experiment) Leak() error {
 	if !e.setupDone {
 		return fmt.Errorf("honeynet: Leak before Setup")
@@ -236,43 +347,34 @@ func (e *Experiment) Leak() error {
 	if e.leaked {
 		return fmt.Errorf("honeynet: Leak called twice")
 	}
-	now := e.clock.Now()
+	now := e.cfg.Start
 
-	// Process blocks in plan order (stable), not map order: leak-time
-	// randomness must be reproducible for a given seed.
-	var malwareCreds []malnet.Credential
-	for _, block := range e.cfg.Plan {
-		var list []Assignment
-		for _, a := range e.assignments {
-			if a.Group == block {
-				list = append(list, a)
-			}
-		}
+	for _, b := range e.blocks {
+		list := e.assignments[b.start:b.end]
 		creds := make([]outlets.Credential, 0, len(list))
 		for _, a := range list {
 			cred := outlets.Credential{Account: a.Account, Password: a.Password}
-			if block.Hint != analysis.HintNone {
-				cred.Hint = e.hintFor(block.Hint)
+			if b.spec.Hint != analysis.HintNone {
+				cred.Hint = e.hintFor(b.spec.Hint)
 			}
 			creds = append(creds, cred)
 			e.leakTimes[a.Account] = now
 		}
-		switch block.Channel {
+		switch b.spec.Channel {
 		case analysis.OutletPaste:
-			e.spread(creds, e.reg.ByKind(outlets.KindPaste, false))
+			e.spread(b, creds, b.reg.ByKind(outlets.KindPaste, false))
 		case analysis.OutletPasteRussian:
-			e.spread(creds, e.reg.ByKind(outlets.KindPaste, true))
+			e.spread(b, creds, b.reg.ByKind(outlets.KindPaste, true))
 		case analysis.OutletForum:
-			e.spread(creds, e.reg.ByKind(outlets.KindForum, false))
+			e.spread(b, creds, b.reg.ByKind(outlets.KindForum, false))
 		case analysis.OutletMalware:
+			mcreds := make([]malnet.Credential, 0, len(creds))
 			for _, c := range creds {
-				malwareCreds = append(malwareCreds, malnet.Credential{Account: c.Account, Password: c.Password})
+				mcreds = append(mcreds, malnet.Credential{Account: c.Account, Password: c.Password})
 			}
+			samples := malnet.DefaultSamples(b.src.ForkNamed("samples"), 24)
+			b.sandbox.RunCampaign(samples, mcreds)
 		}
-	}
-	if len(malwareCreds) > 0 {
-		samples := malnet.DefaultSamples(e.src.ForkNamed("samples"), 24)
-		e.sandbox.RunCampaign(samples, malwareCreds)
 	}
 	if !e.cfg.DisableCaseStudies {
 		e.scheduleCaseStudies()
@@ -281,8 +383,9 @@ func (e *Experiment) Leak() error {
 	return nil
 }
 
-// spread distributes credentials round-robin over the block's outlets.
-func (e *Experiment) spread(creds []outlets.Credential, sites []*outlets.Outlet) {
+// spread distributes a block's credentials round-robin over its
+// outlets.
+func (e *Experiment) spread(b *block, creds []outlets.Credential, sites []*outlets.Outlet) {
 	if len(sites) == 0 {
 		return
 	}
@@ -292,7 +395,7 @@ func (e *Experiment) spread(creds []outlets.Credential, sites []*outlets.Outlet)
 	}
 	for i, o := range sites {
 		if len(buckets[i]) > 0 {
-			o.Post(buckets[i], e.engine.HandlePickup)
+			o.Post(buckets[i], b.engine.HandlePickup)
 		}
 	}
 }
@@ -314,7 +417,9 @@ func (e *Experiment) hintFor(h analysis.Hint) *outlets.LocationHint {
 // scheduleCaseStudies wires the §4.7 scenarios onto concrete accounts:
 // blackmail on three paste-leaked accounts, quota notices on two
 // accounts (by reinstalling their scripts with a quota), and one
-// carding-forum registration.
+// carding-forum registration. Target selection walks the global
+// assignment list in plan order — stable under any shard layout — and
+// each scripted action runs on the engine of the account's own block.
 func (e *Experiment) scheduleCaseStudies() {
 	var pasteAccounts, forumAccounts []Assignment
 	for _, a := range e.assignments {
@@ -325,41 +430,53 @@ func (e *Experiment) scheduleCaseStudies() {
 			forumAccounts = append(forumAccounts, a)
 		}
 	}
-	now := e.clock.Now()
+	now := e.cfg.Start
 	if len(pasteAccounts) >= 3 {
-		var targets []string
+		// Group the blackmail targets per owning block, preserving
+		// order, so each campaign runs on its accounts' own engine.
+		targetsByBlock := make(map[*block][]string)
+		var blockOrder []*block
 		for _, a := range pasteAccounts[:3] {
-			targets = append(targets, a.Account)
-			e.engine.RegisterCredential(a.Account, a.Password)
+			b := e.blockOf[a.Account]
+			b.engine.RegisterCredential(a.Account, a.Password)
+			if _, seen := targetsByBlock[b]; !seen {
+				blockOrder = append(blockOrder, b)
+			}
+			targetsByBlock[b] = append(targetsByBlock[b], a.Account)
 		}
-		e.engine.RunBlackmailCampaign(targets, now.Add(20*24*time.Hour))
+		for _, b := range blockOrder {
+			b.engine.RunBlackmailCampaign(targetsByBlock[b], now.Add(20*24*time.Hour))
+		}
 	}
 	if len(forumAccounts) >= 2 {
 		for i, a := range forumAccounts[:2] {
 			// Reinstall with a quota so the "too much computer time"
 			// notice lands in the inbox, then have an attacker read it.
-			e.runtime.Install(a.Account, appscript.Options{
+			b := e.blockOf[a.Account]
+			b.shard.runtime.Install(a.Account, appscript.Options{
 				ScanInterval: e.cfg.ScanInterval,
 				Hidden:       !e.cfg.VisibleScripts,
 				QuotaScans:   500 + 100*i,
 			})
-			e.engine.RegisterCredential(a.Account, a.Password)
-			e.engine.RunQuotaReader(a.Account, now.Add(time.Duration(40+10*i)*24*time.Hour))
+			b.engine.RegisterCredential(a.Account, a.Password)
+			b.engine.RunQuotaReader(a.Account, now.Add(time.Duration(40+10*i)*24*time.Hour))
 		}
 	}
 	if len(forumAccounts) >= 3 {
 		a := forumAccounts[2]
-		e.engine.RegisterCredential(a.Account, a.Password)
-		e.engine.RunCardingRegistration(a.Account, now.Add(55*24*time.Hour))
+		b := e.blockOf[a.Account]
+		b.engine.RegisterCredential(a.Account, a.Password)
+		b.engine.RunCardingRegistration(a.Account, now.Add(55*24*time.Hour))
 	}
 }
 
-// Run advances the experiment to the end of the observation window.
+// Run advances every shard to the end of the observation window,
+// executing shards concurrently.
 func (e *Experiment) Run() error {
 	if !e.leaked {
 		return fmt.Errorf("honeynet: Run before Leak")
 	}
-	e.sched.RunUntil(e.cfg.Start.Add(e.cfg.Duration))
+	e.set.RunUntil(e.cfg.Start.Add(e.cfg.Duration), len(e.shards))
 	return nil
 }
 
@@ -374,8 +491,11 @@ func (e *Experiment) RunAll() error {
 	return e.Run()
 }
 
-// Dataset exports the analysis-ready dataset from the monitoring
-// pipeline, annotated with the plan facts (outlet, hint, leak time).
+// Dataset exports the analysis-ready dataset by merging every shard's
+// monitoring pipeline, annotated with the plan facts (outlet, hint,
+// leak time). The merge orders records by stable keys (account,
+// cookie, time) rather than arrival, so the result is identical
+// whatever the shard count or goroutine interleaving.
 func (e *Experiment) Dataset() *analysis.Dataset {
 	planByAccount := make(map[string]GroupSpec, len(e.assignments))
 	for _, a := range e.assignments {
@@ -386,55 +506,89 @@ func (e *Experiment) Dataset() *analysis.Dataset {
 		SuspendedAccounts: e.svc.SuspendedCount(),
 		Contents:          e.contents,
 	}
-	for _, rec := range e.mon.Dataset() {
-		g := planByAccount[rec.Account]
-		a := analysis.Access{
-			Account:   rec.Account,
-			Cookie:    rec.Cookie,
-			First:     rec.First,
-			Last:      rec.Last,
-			Outlet:    g.Channel,
-			Hint:      g.Hint,
-			LeakTime:  e.leakTimes[rec.Account],
-			IP:        rec.IP,
-			City:      rec.City,
-			Country:   rec.Country,
-			HasPoint:  rec.HasPoint,
-			UserAgent: rec.UserAgent,
-		}
-		a.Point = geo.Point{Lat: rec.Lat, Lon: rec.Lon}
-		if _, listed := e.bl.LookupString(rec.IP); listed {
-			ds.Blacklisted[rec.IP] = true
-		}
-		ds.Accesses = append(ds.Accesses, a)
-	}
-	for _, n := range e.store.Notifications() {
-		var kind analysis.ActionKind
-		switch n.Kind {
-		case appscript.NoteRead:
-			kind = analysis.ActionRead
-		case appscript.NoteSent:
-			kind = analysis.ActionSent
-		case appscript.NoteStarred:
-			kind = analysis.ActionStarred
-		case appscript.NoteDraft:
-			kind = analysis.ActionDraft
-		default:
-			continue // heartbeats/quota are liveness, not actions
-		}
-		ds.Actions = append(ds.Actions, analysis.Action{
-			Time:    n.Time,
-			Account: n.Account,
-			Kind:    kind,
-			Message: int64(n.Message),
-			Body:    n.Body,
-		})
-	}
-	for _, f := range e.store.Failures() {
-		if f.Reason == "password-changed" {
-			ds.PasswordChanges = append(ds.PasswordChanges, analysis.PasswordChange{Account: f.Account, Time: f.Time})
+	for _, sh := range e.shards {
+		for _, rec := range sh.mon.Dataset() {
+			g := planByAccount[rec.Account]
+			a := analysis.Access{
+				Account:   rec.Account,
+				Cookie:    rec.Cookie,
+				First:     rec.First,
+				Last:      rec.Last,
+				Outlet:    g.Channel,
+				Hint:      g.Hint,
+				LeakTime:  e.leakTimes[rec.Account],
+				IP:        rec.IP,
+				City:      rec.City,
+				Country:   rec.Country,
+				HasPoint:  rec.HasPoint,
+				UserAgent: rec.UserAgent,
+			}
+			a.Point = geo.Point{Lat: rec.Lat, Lon: rec.Lon}
+			if _, listed := e.bl.LookupString(rec.IP); listed {
+				ds.Blacklisted[rec.IP] = true
+			}
+			ds.Accesses = append(ds.Accesses, a)
 		}
 	}
+	sort.Slice(ds.Accesses, func(i, j int) bool {
+		if ds.Accesses[i].Account != ds.Accesses[j].Account {
+			return ds.Accesses[i].Account < ds.Accesses[j].Account
+		}
+		return ds.Accesses[i].Cookie < ds.Accesses[j].Cookie
+	})
+
+	for _, sh := range e.shards {
+		for _, n := range sh.store.Notifications() {
+			var kind analysis.ActionKind
+			switch n.Kind {
+			case appscript.NoteRead:
+				kind = analysis.ActionRead
+			case appscript.NoteSent:
+				kind = analysis.ActionSent
+			case appscript.NoteStarred:
+				kind = analysis.ActionStarred
+			case appscript.NoteDraft:
+				kind = analysis.ActionDraft
+			default:
+				continue // heartbeats/quota are liveness, not actions
+			}
+			ds.Actions = append(ds.Actions, analysis.Action{
+				Time:    n.Time,
+				Account: n.Account,
+				Kind:    kind,
+				Message: int64(n.Message),
+				Body:    n.Body,
+			})
+		}
+	}
+	sort.Slice(ds.Actions, func(i, j int) bool {
+		ai, aj := ds.Actions[i], ds.Actions[j]
+		if !ai.Time.Equal(aj.Time) {
+			return ai.Time.Before(aj.Time)
+		}
+		if ai.Account != aj.Account {
+			return ai.Account < aj.Account
+		}
+		if ai.Message != aj.Message {
+			return ai.Message < aj.Message
+		}
+		return ai.Kind < aj.Kind
+	})
+
+	for _, sh := range e.shards {
+		for _, f := range sh.store.Failures() {
+			if f.Reason == "password-changed" {
+				ds.PasswordChanges = append(ds.PasswordChanges, analysis.PasswordChange{Account: f.Account, Time: f.Time})
+			}
+		}
+	}
+	sort.Slice(ds.PasswordChanges, func(i, j int) bool {
+		pi, pj := ds.PasswordChanges[i], ds.PasswordChanges[j]
+		if !pi.Time.Equal(pj.Time) {
+			return pi.Time.Before(pj.Time)
+		}
+		return pi.Account < pj.Account
+	})
 	return ds
 }
 

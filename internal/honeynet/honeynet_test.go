@@ -111,7 +111,7 @@ func TestSetupCreatesSeededInstrumentedAccounts(t *testing.T) {
 		if c.Inbox+c.Sent != 25 {
 			t.Fatalf("%s seeded with %d messages, want 25", a, c.Inbox+c.Sent)
 		}
-		if !e.Runtime().Installed(a) {
+		if !e.Installed(a) {
 			t.Fatalf("%s has no script installed", a)
 		}
 	}
@@ -146,7 +146,7 @@ func TestEndToEndProducesDataset(t *testing.T) {
 	}
 	// The engine's ground truth and the monitor should roughly agree
 	// on volume (monitor misses post-hijack cookies, so <=).
-	truth := e.Engine().Records()
+	truth := e.Records()
 	if len(ds.Accesses) > len(truth) {
 		t.Fatalf("monitor saw %d accesses, ground truth only %d", len(ds.Accesses), len(truth))
 	}
@@ -162,7 +162,7 @@ func TestOutboundMailAllSinkholed(t *testing.T) {
 	}
 	// Whatever was sent, every captured message must carry the
 	// sinkhole envelope sender (the send-from override).
-	for _, m := range e.Sinkhole().All() {
+	for _, m := range e.Sinkholed() {
 		if m.From != "capture@sinkhole.example" {
 			t.Fatalf("outbound mail escaped with sender %q", m.From)
 		}

@@ -152,6 +152,7 @@ type Monitor struct {
 	// removes all accesses originating there.
 	selfCity string
 	endpoint netsim.Endpoint
+	jar      *netsim.CookieJar // nil -> use the platform's jar
 
 	mu      sync.Mutex
 	creds   map[string]string // account -> password as leaked
@@ -167,6 +168,11 @@ type Config struct {
 	// Endpoint is the infrastructure's network identity; its city
 	// becomes the self-filter city.
 	Endpoint netsim.Endpoint
+	// Cookies, when set, issues the scraper's own cookies. Sharded
+	// experiments give each shard's monitor a prefixed jar so cookie
+	// values are independent of cross-shard interleaving; nil falls
+	// back to the platform's jar.
+	Cookies *netsim.CookieJar
 }
 
 // New builds a Monitor.
@@ -180,6 +186,7 @@ func New(cfg Config) *Monitor {
 		store:    cfg.Store,
 		selfCity: cfg.Endpoint.City,
 		endpoint: cfg.Endpoint,
+		jar:      cfg.Cookies,
 		creds:    make(map[string]string),
 		cookies:  make(map[string]string),
 	}
@@ -194,7 +201,11 @@ func (m *Monitor) Track(account, password string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.creds[account] = password
-	m.cookies[account] = m.svc.NewCookie()
+	if m.jar != nil {
+		m.cookies[account] = m.jar.Issue()
+	} else {
+		m.cookies[account] = m.svc.NewCookie()
+	}
 }
 
 // MonitorCookies returns the scraper's own cookies (used by the

@@ -200,6 +200,30 @@ type AddressSpace struct {
 // receives a disjoint /16-like range derived from its index; Tor and
 // proxy pools live in dedicated ranges.
 func NewAddressSpace(src *rng.Source, gaz *geo.Gazetteer) *AddressSpace {
+	return NewAddressSpaceTenant(src, gaz, 0)
+}
+
+// TenantSlots bounds the number of disjoint tenant ranges. Each
+// tenant shifts every pool base by tenant<<18 (a /14 per tenant):
+// with 800 slots the top shift is ~12.5 in the first octet, so the
+// city pool stays below 54.x, the Tor pool below 184.x and the proxy
+// pool below 198.x — mutually disjoint — while a /14 still holds the
+// whole per-tenant city layout (gazetteer cities occupy
+// (1+i>>8)<<16 + (i&255)<<8, which fits for up to 767 cities).
+const TenantSlots = 800
+
+// NewAddressSpaceTenant builds an address space whose allocation
+// ranges are disjoint from every other tenant's. The sharded
+// experiment engine gives each plan block its own tenant so two
+// attackers in different blocks can never be assigned the same IP —
+// distinct criminals sharing an address would corrupt IP-keyed
+// analyses (unique-IP counts, the Spamhaus cross-check of §4.5).
+// Out-of-range tenants panic rather than silently wrap onto another
+// tenant's ranges; size fleets against TenantSlots.
+func NewAddressSpaceTenant(src *rng.Source, gaz *geo.Gazetteer, tenant int) *AddressSpace {
+	if tenant < 0 || tenant >= TenantSlots {
+		panic(fmt.Sprintf("netsim: tenant %d out of range [0,%d)", tenant, TenantSlots))
+	}
 	as := &AddressSpace{
 		src:      src,
 		gaz:      gaz,
@@ -208,16 +232,26 @@ func NewAddressSpace(src *rng.Source, gaz *geo.Gazetteer) *AddressSpace {
 		torSet:   make(map[netip.Addr]bool),
 		prxSet:   make(map[netip.Addr]bool),
 	}
+	off := uint32(tenant) << 18
 	cities := gaz.Cities()
 	sort.Slice(cities, func(i, j int) bool { return cities[i].Name < cities[j].Name })
 	for i, c := range cities {
-		// 10.x.y.z-style deterministic layout: city i gets 41.(i>>8).(i&255).0 base.
-		base := netip.AddrFrom4([4]byte{41, byte(1 + i>>8), byte(i & 255), 1})
+		// Deterministic layout: city i of tenant t gets base
+		// 41.(1+i>>8).(i&255).1 shifted by t<<18.
+		base := addrShift(netip.AddrFrom4([4]byte{41, byte(1 + i>>8), byte(i & 255), 1}), off)
 		as.cityNet[c.Name] = base
 	}
-	as.torNext = netip.AddrFrom4([4]byte{171, 25, 193, 1}) // Tor-ish range
-	as.prxNext = netip.AddrFrom4([4]byte{185, 100, 84, 1}) // proxy-ish range
+	as.torNext = addrShift(netip.AddrFrom4([4]byte{171, 25, 193, 1}), off) // Tor-ish range
+	as.prxNext = addrShift(netip.AddrFrom4([4]byte{185, 100, 84, 1}), off) // proxy-ish range
 	return as
+}
+
+// addrShift adds a fixed offset to an IPv4 address.
+func addrShift(a netip.Addr, off uint32) netip.Addr {
+	b := a.As4()
+	v := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	v += off
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
 }
 
 // FromCity allocates a fresh address geolocated to the named city.
@@ -336,12 +370,22 @@ func (b *Blacklist) Len() int {
 // webmail service does the same, and attacker sessions hold one
 // cookie per browser installation.
 type CookieJar struct {
-	mu   sync.Mutex
-	next uint64
+	mu     sync.Mutex
+	prefix string
+	next   uint64
 }
 
 // NewCookieJar returns a jar issuing IDs from a fixed origin.
 func NewCookieJar() *CookieJar { return &CookieJar{next: 1} }
+
+// NewCookieJarPrefixed returns a jar whose identifiers carry a
+// namespace prefix. The sharded experiment engine gives each shard
+// component its own prefixed jar so cookie values stay globally
+// unique and independent of cross-shard issuance interleaving —
+// a prerequisite for bit-for-bit reproducible parallel runs.
+func NewCookieJarPrefixed(prefix string) *CookieJar {
+	return &CookieJar{prefix: prefix, next: 1}
+}
 
 // Issue returns a fresh opaque cookie identifier.
 func (j *CookieJar) Issue() string {
@@ -349,5 +393,8 @@ func (j *CookieJar) Issue() string {
 	defer j.mu.Unlock()
 	id := j.next
 	j.next++
+	if j.prefix != "" {
+		return fmt.Sprintf("GAPS-%s-%012x", j.prefix, id)
+	}
 	return fmt.Sprintf("GAPS-%012x", id)
 }

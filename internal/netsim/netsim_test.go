@@ -202,3 +202,46 @@ func TestPropertyCityRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAddressSpaceTenantsDisjoint(t *testing.T) {
+	gaz := geo.Default()
+	seenCity := map[string]int{}
+	seenTor := map[string]int{}
+	seenProxy := map[string]int{}
+	for _, tenant := range []int{0, 1, 2, 3, 4, 5, 399, TenantSlots - 1} {
+		as := NewAddressSpaceTenant(rng.New(1), gaz, tenant)
+		for i := 0; i < 10; i++ {
+			ep, err := as.FromCity("London")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prev, dup := seenCity[ep.Addr.String()]; dup {
+				t.Fatalf("city address %s of tenant %d collides with tenant %d", ep.Addr, tenant, prev)
+			}
+			seenCity[ep.Addr.String()] = tenant
+			tor := as.TorExit()
+			if prev, dup := seenTor[tor.Addr.String()]; dup {
+				t.Fatalf("tor address %s of tenant %d collides with tenant %d", tor.Addr, tenant, prev)
+			}
+			seenTor[tor.Addr.String()] = tenant
+			prx := as.OpenProxy()
+			if prev, dup := seenProxy[prx.Addr.String()]; dup {
+				t.Fatalf("proxy address %s of tenant %d collides with tenant %d", prx.Addr, tenant, prev)
+			}
+			seenProxy[prx.Addr.String()] = tenant
+		}
+	}
+}
+
+func TestAddressSpaceTenantOutOfRangePanics(t *testing.T) {
+	for _, tenant := range []int{-1, TenantSlots} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("tenant %d did not panic", tenant)
+				}
+			}()
+			NewAddressSpaceTenant(rng.New(1), geo.Default(), tenant)
+		}()
+	}
+}

@@ -55,6 +55,32 @@ func (s *Source) ForkNamed(label string) *Source {
 	return New(int64(h) ^ s.seed)
 }
 
+// splitmix64 is the finalizer of the SplitMix64 generator — a strong
+// 64-bit mixing function used to derive decorrelated substream seeds
+// from structured inputs (seed, shard index).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ForkShard derives the shard-th of n stable, mutually independent
+// substreams. The child's stream is a pure function of (parent seed,
+// shard, n) — not of the parent's draw position and not of which
+// worker executes the shard — so a fixed experiment seed reproduces a
+// sharded run bit-for-bit for a given partition layout. It panics on
+// an out-of-range shard index.
+func (s *Source) ForkShard(shard, n int) *Source {
+	if n <= 0 || shard < 0 || shard >= n {
+		panic(fmt.Sprintf("rng: ForkShard(%d, %d) out of range", shard, n))
+	}
+	h := splitmix64(uint64(s.seed))
+	h = splitmix64(h ^ uint64(shard)<<1 ^ 0xA5A5A5A5)
+	h = splitmix64(h ^ uint64(n)<<17)
+	return New(int64(h))
+}
+
 // Float64 returns a uniform value in [0,1).
 func (s *Source) Float64() float64 { return s.r.Float64() }
 

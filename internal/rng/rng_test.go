@@ -289,3 +289,50 @@ func TestPropertyQuantileMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestForkShardStable(t *testing.T) {
+	// The substream depends only on (seed, shard, n) — never on how
+	// many draws the parent has made.
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		b.Float64() // advance the parent; forks must not care
+	}
+	for shard := 0; shard < 8; shard++ {
+		x, y := a.ForkShard(shard, 8), b.ForkShard(shard, 8)
+		for i := 0; i < 200; i++ {
+			if x.Float64() != y.Float64() {
+				t.Fatalf("shard %d substream depends on parent draw position", shard)
+			}
+		}
+	}
+}
+
+func TestForkShardIndependent(t *testing.T) {
+	// Distinct shards of the same parent must yield distinct streams,
+	// and the same shard index under a different total must too.
+	seen := map[int64]string{}
+	for _, n := range []int{1, 2, 4, 8} {
+		for shard := 0; shard < n; shard++ {
+			s := New(7).ForkShard(shard, n)
+			key := s.Seed()
+			if prev, dup := seen[key]; dup {
+				t.Fatalf("shard (%d of %d) collides with %s", shard, n, prev)
+			}
+			seen[key] = "shard"
+		}
+	}
+}
+
+func TestForkShardRejectsBadIndex(t *testing.T) {
+	for _, c := range []struct{ shard, n int }{{0, 0}, {-1, 4}, {4, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ForkShard(%d, %d) did not panic", c.shard, c.n)
+				}
+			}()
+			New(1).ForkShard(c.shard, c.n)
+		}()
+	}
+}

@@ -1,0 +1,95 @@
+package simtime
+
+import (
+	"sync"
+	"time"
+)
+
+// ShardSet executes several independent Schedulers concurrently. It is
+// the simulation-time backbone of the sharded experiment engine: each
+// shard owns one Scheduler (and therefore one Clock), shards never
+// share mutable state, and the set drives all of them to a common
+// deadline across worker goroutines. Because every scheduler is
+// isolated, the outcome is identical whether the shards run serially,
+// on one worker, or fully in parallel.
+type ShardSet struct {
+	scheds []*Scheduler
+}
+
+// NewShardSet builds a set over the given schedulers.
+func NewShardSet(scheds ...*Scheduler) *ShardSet {
+	return &ShardSet{scheds: append([]*Scheduler(nil), scheds...)}
+}
+
+// Add appends a scheduler to the set.
+func (ss *ShardSet) Add(s *Scheduler) { ss.scheds = append(ss.scheds, s) }
+
+// Len returns the number of shards.
+func (ss *ShardSet) Len() int { return len(ss.scheds) }
+
+// Scheduler returns the i-th shard's scheduler.
+func (ss *ShardSet) Scheduler(i int) *Scheduler { return ss.scheds[i] }
+
+// Fired sums the events executed across all shards.
+func (ss *ShardSet) Fired() uint64 {
+	var n uint64
+	for _, s := range ss.scheds {
+		n += s.Fired()
+	}
+	return n
+}
+
+// Pending sums the events still queued across all shards.
+func (ss *ShardSet) Pending() int {
+	n := 0
+	for _, s := range ss.scheds {
+		n += s.Len()
+	}
+	return n
+}
+
+// RunUntil advances every shard to the common deadline, spawning at
+// most workers goroutines (workers <= 0 or >= len selects one
+// goroutine per shard). It returns the total number of events
+// executed. Each shard's Run loop stays single-threaded — the
+// Scheduler contract — while distinct shards proceed concurrently.
+func (ss *ShardSet) RunUntil(deadline time.Time, workers int) int {
+	n := len(ss.scheds)
+	if n == 0 {
+		return 0
+	}
+	if workers <= 0 || workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		total := 0
+		for _, s := range ss.scheds {
+			total += s.RunUntil(deadline)
+		}
+		return total
+	}
+	var (
+		wg    sync.WaitGroup
+		next  = make(chan *Scheduler, n)
+		mu    sync.Mutex
+		total int
+	)
+	for _, s := range ss.scheds {
+		next <- s
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range next {
+				ran := s.RunUntil(deadline)
+				mu.Lock()
+				total += ran
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return total
+}

@@ -1,0 +1,195 @@
+package webmail
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/netsim"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+// testEndpoint returns a deterministic network identity for logins.
+func testEndpoint() netsim.Endpoint {
+	space := netsim.NewAddressSpace(rng.New(11), geo.Default())
+	ep, err := space.FromCity("Paris")
+	if err != nil {
+		panic(err)
+	}
+	return ep
+}
+
+// TestPartitionedStoreConcurrency drives disjoint account populations
+// on separate partitions from parallel goroutines — the access pattern
+// of the sharded experiment engine — and checks cross-partition
+// aggregates afterwards. Run with -race.
+func TestPartitionedStoreConcurrency(t *testing.T) {
+	const parts = 4
+	const perPart = 8
+	start := time.Date(2015, 6, 25, 0, 0, 0, 0, time.UTC)
+
+	clock := simtime.NewClock(start)
+	svc := NewService(Config{Clock: clock, Partitions: parts})
+	if svc.Partitions() != parts {
+		t.Fatalf("partitions = %d, want %d", svc.Partitions(), parts)
+	}
+
+	// Per-partition clocks, as the sharded engine binds them.
+	clocks := make([]*simtime.Clock, parts)
+	for p := 0; p < parts; p++ {
+		clocks[p] = simtime.NewClock(start)
+		if err := svc.ConfigurePartition(p, clocks[p].Now, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := svc.ConfigurePartition(parts, nil, nil); err == nil {
+		t.Fatal("out-of-range partition accepted")
+	}
+
+	addr := func(p, i int) string { return fmt.Sprintf("p%d-user%d@honeymail.example", p, i) }
+	for p := 0; p < parts; p++ {
+		for i := 0; i < perPart; i++ {
+			if err := svc.CreateAccountIn(p, addr(p, i), "pw", "U"); err != nil {
+				t.Fatal(err)
+			}
+			if got := svc.PartitionOf(addr(p, i)); got != p {
+				t.Fatalf("%s placed on partition %d, want %d", addr(p, i), got, p)
+			}
+		}
+	}
+	if err := svc.CreateAccountIn(0, addr(0, 0), "pw", "U"); err != ErrAccountExists {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	if err := svc.CreateAccountIn(99, "x@y", "pw", "U"); err == nil {
+		t.Fatal("out-of-range partition create accepted")
+	}
+
+	var wg sync.WaitGroup
+	for p := 0; p < parts; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ep := testEndpoint()
+			for round := 0; round < 50; round++ {
+				for i := 0; i < perPart; i++ {
+					a := addr(p, i)
+					id, err := svc.Seed(a, FolderInbox, "x@y", a,
+						fmt.Sprintf("wire %d", round), "transfer details", clocks[p].Now())
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					se, err := svc.Login(a, "pw", fmt.Sprintf("c-%d-%d", p, i), ep)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if _, err := se.Read(id); err != nil {
+						t.Error(err)
+						return
+					}
+					if _, err := se.Search("transfer"); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Cross-partition aggregates see every account.
+	if got := len(svc.Accounts()); got != parts*perPart {
+		t.Fatalf("Accounts() = %d, want %d", got, parts*perPart)
+	}
+	for p := 0; p < parts; p++ {
+		for i := 0; i < perPart; i++ {
+			c, err := svc.Counts(addr(p, i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.Inbox != 50 {
+				t.Fatalf("%s inbox = %d, want 50", addr(p, i), c.Inbox)
+			}
+			if got := len(svc.SearchLog(addr(p, i))); got != 50 {
+				t.Fatalf("%s search log = %d, want 50", addr(p, i), got)
+			}
+		}
+	}
+}
+
+// TestPartitionClockBinding checks that each partition stamps events
+// with its own bound clock, not the service-wide one.
+func TestPartitionClockBinding(t *testing.T) {
+	start := time.Date(2015, 6, 25, 0, 0, 0, 0, time.UTC)
+	svc := NewService(Config{Clock: simtime.NewClock(start), Partitions: 2})
+
+	ahead := simtime.NewClock(start.Add(72 * time.Hour))
+	if err := svc.ConfigurePartition(1, ahead.Now, nil); err != nil {
+		t.Fatal(err)
+	}
+	svc.CreateAccountIn(0, "base@x", "pw", "B")
+	svc.CreateAccountIn(1, "ahead@x", "pw", "A")
+
+	ep := testEndpoint()
+	se0, err := svc.Login("base@x", "pw", "c0", ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se1, err := svc.Login("ahead@x", "pw", "c1", ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = se0
+	_ = se1
+	rows0, _ := svc.ActivityPage("base@x")
+	rows1, _ := svc.ActivityPage("ahead@x")
+	if !rows0[0].First.Equal(start) {
+		t.Fatalf("partition 0 stamped %v, want %v", rows0[0].First, start)
+	}
+	if !rows1[0].First.Equal(start.Add(72 * time.Hour)) {
+		t.Fatalf("partition 1 stamped %v, want %v", rows1[0].First, start.Add(72*time.Hour))
+	}
+}
+
+// TestPartitionOutboundBinding checks that sent mail routes to the
+// partition's own outbound sink.
+func TestPartitionOutboundBinding(t *testing.T) {
+	start := time.Date(2015, 6, 25, 0, 0, 0, 0, time.UTC)
+	svc := NewService(Config{Clock: simtime.NewClock(start), Partitions: 2})
+
+	type captured struct {
+		mu    sync.Mutex
+		mails []string
+	}
+	sinks := [2]*captured{{}, {}}
+	for p := 0; p < 2; p++ {
+		p := p
+		svc.ConfigurePartition(p, nil, OutboundFunc(func(from, to, subject, body string, at time.Time) error {
+			sinks[p].mu.Lock()
+			defer sinks[p].mu.Unlock()
+			sinks[p].mails = append(sinks[p].mails, to)
+			return nil
+		}))
+	}
+	svc.CreateAccountIn(0, "zero@x", "pw", "Z")
+	svc.CreateAccountIn(1, "one@x", "pw", "O")
+	ep := testEndpoint()
+	for _, acct := range []string{"zero@x", "one@x"} {
+		se, err := svc.Login(acct, "pw", "", ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := se.Send("victim@elsewhere.example", "hi", "body"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(sinks[0].mails) != 1 || len(sinks[1].mails) != 1 {
+		t.Fatalf("sink routing: partition0=%d partition1=%d, want 1 and 1",
+			len(sinks[0].mails), len(sinks[1].mails))
+	}
+}

@@ -1,6 +1,7 @@
 package webmail
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"strings"
@@ -40,6 +41,25 @@ type account struct {
 	homeKnown        bool
 }
 
+// partition is one shard of the account store: its own lock, its own
+// account map, and its own time/outbound bindings. Accounts in
+// different partitions never contend on a mutex, which is what lets
+// the sharded experiment engine drive disjoint account populations
+// from parallel schedulers against a single Service.
+type partition struct {
+	id int
+
+	mu       sync.Mutex
+	accounts map[string]*account
+
+	// now supplies virtual time for this partition's accounts. In a
+	// sharded experiment every partition is bound to its shard's
+	// clock; single-partition services use the service clock.
+	now func() time.Time
+	// outbound receives this partition's sent mail.
+	outbound Outbound
+}
+
 // Config parameterises a Service.
 type Config struct {
 	// Clock supplies virtual time; required.
@@ -53,19 +73,30 @@ type Config struct {
 	// Google's filters would. The paper had these filters DISABLED on
 	// honey accounts (§3.4); the ablation bench turns them on.
 	LoginRisk LoginRiskConfig
+	// Partitions splits the account store into this many
+	// independently locked shards (default 1). Accounts placed in
+	// different partitions never contend; each partition can be bound
+	// to its own clock and outbound sink via ConfigurePartition.
+	Partitions int
 }
 
 // Service is the webmail platform. It is safe for concurrent use.
+// Internally the account store is split into partitions (see Config.
+// Partitions): the service-level lock only guards the address index,
+// which is read-mostly, while all per-account state sits behind the
+// owning partition's lock.
 type Service struct {
-	mu       sync.Mutex
-	clock    *simtime.Clock
-	outbound Outbound
-	abuse    *abuseDetector
-	risk     LoginRiskConfig
-	accounts map[string]*account
-	jar      *netsim.CookieJar
+	abuse *abuseDetector
+	risk  LoginRiskConfig
+	jar   *netsim.CookieJar
 
+	mu    sync.RWMutex // guards index; partitions are fixed at construction
+	index map[string]*partition
+	parts []*partition
+
+	obsMu     sync.RWMutex
 	observers []func(Event)
+	notifyMu  sync.Mutex // serializes observer invocation across partitions
 }
 
 // NewService creates an empty platform.
@@ -77,33 +108,127 @@ func NewService(cfg Config) *Service {
 	if out == nil {
 		out = DiscardOutbound
 	}
-	return &Service{
-		clock:    cfg.Clock,
-		outbound: out,
-		abuse:    newAbuseDetector(cfg.Abuse),
-		risk:     cfg.LoginRisk,
-		accounts: make(map[string]*account),
-		jar:      netsim.NewCookieJar(),
+	n := cfg.Partitions
+	if n <= 0 {
+		n = 1
 	}
+	s := &Service{
+		abuse: newAbuseDetector(cfg.Abuse),
+		risk:  cfg.LoginRisk,
+		jar:   netsim.NewCookieJar(),
+		index: make(map[string]*partition),
+		parts: make([]*partition, n),
+	}
+	for i := range s.parts {
+		s.parts[i] = &partition{
+			id:       i,
+			accounts: make(map[string]*account),
+			now:      cfg.Clock.Now,
+			outbound: out,
+		}
+	}
+	return s
+}
+
+// Partitions returns the number of account-store shards.
+func (s *Service) Partitions() int { return len(s.parts) }
+
+// ConfigurePartition rebinds one partition's clock and outbound sink.
+// The sharded experiment engine calls it once per shard, before any
+// account in the partition is exercised; now and outbound may be nil
+// to keep the current binding.
+func (s *Service) ConfigurePartition(i int, now func() time.Time, outbound Outbound) error {
+	if i < 0 || i >= len(s.parts) {
+		return fmt.Errorf("webmail: partition %d out of range [0,%d)", i, len(s.parts))
+	}
+	p := s.parts[i]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if now != nil {
+		p.now = now
+	}
+	if outbound != nil {
+		p.outbound = outbound
+	}
+	return nil
+}
+
+// partitionFor hashes an address onto a partition (FNV-1a), the
+// default placement for accounts created without an explicit shard.
+func (s *Service) partitionFor(address string) int {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(address); i++ {
+		h ^= uint64(address[i])
+		h *= 1099511628211
+	}
+	return int(h % uint64(len(s.parts)))
+}
+
+// lookup resolves an address to its partition without touching any
+// partition lock.
+func (s *Service) lookup(address string) (*partition, bool) {
+	s.mu.RLock()
+	p, ok := s.index[address]
+	s.mu.RUnlock()
+	return p, ok
+}
+
+// acquire resolves and locks the partition owning an address. Callers
+// must p.mu.Unlock() when done.
+func (s *Service) acquire(address string) (*partition, *account, error) {
+	p, ok := s.lookup(address)
+	if !ok {
+		return nil, nil, ErrNoSuchAccount
+	}
+	p.mu.Lock()
+	a, ok := p.accounts[address]
+	if !ok {
+		p.mu.Unlock()
+		return nil, nil, ErrNoSuchAccount
+	}
+	return p, a, nil
 }
 
 // Observe registers a callback invoked for every journal event. Used
 // by tests and by ground-truth collectors; the paper-faithful
-// monitoring pipeline does NOT use it.
+// monitoring pipeline does NOT use it. Callbacks are serialized even
+// when events originate on different partitions concurrently, so
+// observers need no locking of their own — but they run under the
+// event's partition lock and MUST NOT call back into the Service
+// (true of the pre-sharding design as well, which invoked observers
+// under the global service lock).
 func (s *Service) Observe(fn func(Event)) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.obsMu.Lock()
+	defer s.obsMu.Unlock()
 	s.observers = append(s.observers, fn)
 }
 
-// CreateAccount registers a mailbox.
+// CreateAccount registers a mailbox, placing it on a hash-selected
+// partition.
 func (s *Service) CreateAccount(address, password, ownerName string) error {
+	return s.CreateAccountIn(s.partitionFor(address), address, password, ownerName)
+}
+
+// CreateAccountIn registers a mailbox on an explicit partition. The
+// sharded experiment engine uses it to co-locate each shard's
+// accounts so parallel shards never share an account-store lock.
+func (s *Service) CreateAccountIn(part int, address, password, ownerName string) error {
+	if part < 0 || part >= len(s.parts) {
+		return fmt.Errorf("webmail: partition %d out of range [0,%d)", part, len(s.parts))
+	}
+	p := s.parts[part]
+	// Insert into the partition before the index entry becomes
+	// visible (lock order s.mu -> p.mu, used nowhere else), so a
+	// concurrent acquire() never finds an indexed-but-absent account.
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.accounts[address]; ok {
+	if _, ok := s.index[address]; ok {
 		return ErrAccountExists
 	}
-	s.accounts[address] = &account{
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s.index[address] = p
+	p.accounts[address] = &account{
 		address:  address,
 		password: password,
 		owner:    ownerName,
@@ -114,14 +239,23 @@ func (s *Service) CreateAccount(address, password, ownerName string) error {
 	return nil
 }
 
+// PartitionOf reports which partition holds an address (-1 if the
+// account does not exist).
+func (s *Service) PartitionOf(address string) int {
+	p, ok := s.lookup(address)
+	if !ok {
+		return -1
+	}
+	return p.id
+}
+
 // SetSendFrom sets the account's outgoing envelope-sender override.
 func (s *Service) SetSendFrom(address, sendFrom string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a, ok := s.accounts[address]
-	if !ok {
-		return ErrNoSuchAccount
+	p, a, err := s.acquire(address)
+	if err != nil {
+		return err
 	}
+	defer p.mu.Unlock()
 	a.sendFrom = sendFrom
 	return nil
 }
@@ -129,12 +263,11 @@ func (s *Service) SetSendFrom(address, sendFrom string) error {
 // Seed stores a message directly into a folder without journaling —
 // used to populate honey mailboxes before the leak (§3.2).
 func (s *Service) Seed(address string, folder Folder, from, to, subject, body string, date time.Time) (MessageID, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a, ok := s.accounts[address]
-	if !ok {
-		return 0, ErrNoSuchAccount
+	p, a, err := s.acquire(address)
+	if err != nil {
+		return 0, err
 	}
+	defer p.mu.Unlock()
 	id := a.nextID
 	a.nextID++
 	a.messages[id] = &Message{
@@ -154,20 +287,19 @@ func (s *Service) NewCookie() string { return s.jar.Issue() }
 // network endpoint. A new Access row appears on the activity page for
 // first-time cookies; repeat cookies update tlast and the visit count.
 func (s *Service) Login(address, password, cookie string, ep netsim.Endpoint) (*Session, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a, ok := s.accounts[address]
-	if !ok {
-		return nil, ErrNoSuchAccount
+	p, a, err := s.acquire(address)
+	if err != nil {
+		return nil, err
 	}
+	defer p.mu.Unlock()
 	if a.suspended {
 		return nil, ErrSuspended
 	}
 	if a.password != password {
 		return nil, ErrBadPassword
 	}
-	now := s.clock.Now()
-	if s.risk.Enabled && s.riskyLocked(a, ep) {
+	now := p.now()
+	if s.risk.Enabled && s.risky(a, ep) {
 		s.journalLocked(a, Event{Time: now, Kind: EventLoginBlocked, Account: address, Cookie: cookie, Detail: ep.Addr.String()})
 		return nil, ErrLoginBlocked
 	}
@@ -189,13 +321,13 @@ func (s *Service) Login(address, password, cookie string, ep netsim.Endpoint) (*
 	acc.Last = now
 	acc.Visits++
 	s.journalLocked(a, Event{Time: now, Kind: EventLogin, Account: address, Cookie: cookie, Detail: ep.Addr.String()})
-	return &Session{svc: s, account: address, cookie: cookie, passwordAt: a.passwordChanges}, nil
+	return &Session{svc: s, part: p, account: address, cookie: cookie, passwordAt: a.passwordChanges}, nil
 }
 
-// riskyLocked is the Google-style suspicious-login heuristic used only
-// by the ablation: block anonymised origins and origins with no
+// risky is the Google-style suspicious-login heuristic used only by
+// the ablation: block anonymised origins and origins with no
 // geolocation at all.
-func (s *Service) riskyLocked(a *account, ep netsim.Endpoint) bool {
+func (s *Service) risky(a *account, ep netsim.Endpoint) bool {
 	if ep.Tor && s.risk.BlockTor {
 		return true
 	}
@@ -221,60 +353,62 @@ type LoginRiskConfig struct {
 // SetHomeLocation records where the legitimate owner "usually" logs in
 // from; only the login-risk ablation consults it.
 func (s *Service) SetHomeLocation(address string, lat, lon float64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a, ok := s.accounts[address]
-	if !ok {
-		return ErrNoSuchAccount
+	p, a, err := s.acquire(address)
+	if err != nil {
+		return err
 	}
+	defer p.mu.Unlock()
 	a.homeLat, a.homeLon, a.homeKnown = lat, lon, true
 	return nil
 }
 
 // Suspend blocks an account (Google's enforcement, §4.1).
 func (s *Service) Suspend(address, reason string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a, ok := s.accounts[address]
-	if !ok {
-		return ErrNoSuchAccount
+	p, a, err := s.acquire(address)
+	if err != nil {
+		return err
 	}
+	defer p.mu.Unlock()
 	if !a.suspended {
 		a.suspended = true
-		s.journalLocked(a, Event{Time: s.clock.Now(), Kind: EventSuspend, Account: address, Detail: reason})
+		s.journalLocked(a, Event{Time: p.now(), Kind: EventSuspend, Account: address, Detail: reason})
 	}
 	return nil
 }
 
 // Suspended reports whether the account is blocked.
 func (s *Service) Suspended(address string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a, ok := s.accounts[address]
-	return ok && a.suspended
+	p, a, err := s.acquire(address)
+	if err != nil {
+		return false
+	}
+	defer p.mu.Unlock()
+	return a.suspended
 }
 
 // SuspendedCount returns how many accounts the platform has blocked.
 func (s *Service) SuspendedCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	n := 0
-	for _, a := range s.accounts {
-		if a.suspended {
-			n++
+	for _, p := range s.parts {
+		p.mu.Lock()
+		for _, a := range p.accounts {
+			if a.suspended {
+				n++
+			}
 		}
+		p.mu.Unlock()
 	}
 	return n
 }
 
 // Accounts returns all account addresses, sorted.
 func (s *Service) Accounts() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]string, 0, len(s.accounts))
-	for addr := range s.accounts {
+	s.mu.RLock()
+	out := make([]string, 0, len(s.index))
+	for addr := range s.index {
 		out = append(out, addr)
 	}
+	s.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }
@@ -282,12 +416,11 @@ func (s *Service) Accounts() []string {
 // Journal returns a copy of the ground-truth event journal for an
 // account (empty for unknown accounts).
 func (s *Service) Journal(address string) []Event {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a, ok := s.accounts[address]
-	if !ok {
+	p, a, err := s.acquire(address)
+	if err != nil {
 		return nil
 	}
+	defer p.mu.Unlock()
 	out := make([]Event, len(a.journal))
 	copy(out, a.journal)
 	return out
@@ -298,29 +431,36 @@ func (s *Service) Journal(address string) []Event {
 // to search logs", §4.6) — it exists here to validate how well the
 // TF-IDF inference recovers it.
 func (s *Service) SearchLog(address string) []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a, ok := s.accounts[address]
-	if !ok {
+	p, a, err := s.acquire(address)
+	if err != nil {
 		return nil
 	}
+	defer p.mu.Unlock()
 	out := make([]string, len(a.searchLog))
 	copy(out, a.searchLog)
 	return out
 }
 
-// journalLocked appends an event and notifies observers. Callers hold s.mu.
-// The snapshot version only advances for events that change what
-// Snapshot reports (reads, stars, sends, drafts) so that pollers can
-// skip accounts whose mailbox is untouched — logins and searches alone
-// do not force a rescan.
+// journalLocked appends an event and notifies observers. Callers hold
+// the owning partition's lock. The snapshot version only advances for
+// events that change what Snapshot reports (reads, stars, sends,
+// drafts) so that pollers can skip accounts whose mailbox is
+// untouched — logins and searches alone do not force a rescan.
 func (s *Service) journalLocked(a *account, e Event) {
 	a.journal = append(a.journal, e)
 	switch e.Kind {
 	case EventRead, EventStar, EventSend, EventDraftCreate, EventDraftUpdate:
 		a.version++
 	}
-	for _, fn := range s.observers {
+	s.obsMu.RLock()
+	observers := s.observers
+	s.obsMu.RUnlock()
+	if len(observers) == 0 {
+		return
+	}
+	s.notifyMu.Lock()
+	defer s.notifyMu.Unlock()
+	for _, fn := range observers {
 		fn(e)
 	}
 }
@@ -328,12 +468,11 @@ func (s *Service) journalLocked(a *account, e Event) {
 // Version returns a counter that changes whenever the account's state
 // does. Unknown accounts report 0.
 func (s *Service) Version(address string) uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a, ok := s.accounts[address]
-	if !ok {
+	p, a, err := s.acquire(address)
+	if err != nil {
 		return 0
 	}
+	defer p.mu.Unlock()
 	return a.version
 }
 
@@ -360,12 +499,11 @@ type FolderCounts struct {
 
 // Counts summarises an account's folders.
 func (s *Service) Counts(address string) (FolderCounts, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a, ok := s.accounts[address]
-	if !ok {
-		return FolderCounts{}, ErrNoSuchAccount
+	p, a, err := s.acquire(address)
+	if err != nil {
+		return FolderCounts{}, err
 	}
+	defer p.mu.Unlock()
 	var c FolderCounts
 	for _, m := range a.messages {
 		switch m.Folder {
@@ -392,17 +530,16 @@ func (s *Service) Counts(address string) (FolderCounts, error) {
 // would for mail arriving from outside (forum registration
 // confirmations, Apps-Script quota notices, §4.7).
 func (s *Service) DeliverInbound(address, from, subject, body string) (MessageID, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a, ok := s.accounts[address]
-	if !ok {
-		return 0, ErrNoSuchAccount
+	p, a, err := s.acquire(address)
+	if err != nil {
+		return 0, err
 	}
+	defer p.mu.Unlock()
 	id := a.nextID
 	a.nextID++
 	a.messages[id] = &Message{
 		ID: id, Folder: FolderInbox, From: from, To: address,
-		Subject: subject, Body: body, Date: s.clock.Now(),
+		Subject: subject, Body: body, Date: p.now(),
 	}
 	a.version++
 	return id, nil
@@ -422,13 +559,12 @@ type Snapshot struct {
 // suspended accounts and after password changes — the paper notes the
 // embedded scripts keep running in both cases (§4.2).
 func (s *Service) Snapshot(address string) (Snapshot, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a, ok := s.accounts[address]
-	if !ok {
-		return Snapshot{}, ErrNoSuchAccount
+	p, a, err := s.acquire(address)
+	if err != nil {
+		return Snapshot{}, err
 	}
-	snap := Snapshot{Taken: s.clock.Now(), Drafts: make(map[MessageID]string)}
+	defer p.mu.Unlock()
+	snap := Snapshot{Taken: p.now(), Drafts: make(map[MessageID]string)}
 	ids := make([]MessageID, 0, len(a.messages))
 	for id := range a.messages {
 		ids = append(ids, id)
@@ -458,12 +594,11 @@ func (s *Service) Snapshot(address string) (Snapshot, error) {
 // can no longer call this (enforced by the monitor, which logs in
 // through the normal path).
 func (s *Service) ActivityPage(address string) ([]Access, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a, ok := s.accounts[address]
-	if !ok {
-		return nil, ErrNoSuchAccount
+	p, a, err := s.acquire(address)
+	if err != nil {
+		return nil, err
 	}
+	defer p.mu.Unlock()
 	out := make([]Access, 0, len(a.accesses))
 	for _, acc := range a.accesses {
 		out = append(out, *acc)
@@ -480,12 +615,11 @@ func (s *Service) ActivityPage(address string) ([]Access, error) {
 // Password returns the current password; the honeynet uses it to model
 // "the password no longer matches the leaked one" after hijacks.
 func (s *Service) Password(address string) (string, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a, ok := s.accounts[address]
-	if !ok {
-		return "", ErrNoSuchAccount
+	p, a, err := s.acquire(address)
+	if err != nil {
+		return "", err
 	}
+	defer p.mu.Unlock()
 	return a.password, nil
 }
 

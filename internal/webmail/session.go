@@ -8,9 +8,13 @@ import (
 // Session is an authenticated view of one account bound to a cookie.
 // A password change invalidates every session opened before it, which
 // is how hijackers lock out both the legitimate owner and our
-// activity-page scraper (§4.2).
+// activity-page scraper (§4.2). The session pins the partition that
+// owns its account, so session operations only ever take that
+// partition's lock — sessions on different shards proceed without
+// contention.
 type Session struct {
 	svc        *Service
+	part       *partition
 	account    string
 	cookie     string
 	passwordAt int // password generation at login time
@@ -23,9 +27,9 @@ func (se *Session) Account() string { return se.account }
 func (se *Session) Cookie() string { return se.cookie }
 
 // touch revalidates the session, updates the activity row's tlast, and
-// returns the account under lock. Callers must hold no locks.
+// returns the account. Callers must hold se.part.mu.
 func (se *Session) touch() (*account, error) {
-	a, ok := se.svc.accounts[se.account]
+	a, ok := se.part.accounts[se.account]
 	if !ok {
 		return nil, ErrNoSuchAccount
 	}
@@ -36,7 +40,7 @@ func (se *Session) touch() (*account, error) {
 		return nil, ErrSessionExpired
 	}
 	if acc, ok := a.accesses[se.cookie]; ok {
-		now := se.svc.clock.Now()
+		now := se.part.now()
 		if now.After(acc.Last) {
 			acc.Last = now
 		}
@@ -46,8 +50,8 @@ func (se *Session) touch() (*account, error) {
 
 // List returns the messages of a folder, oldest first.
 func (se *Session) List(folder Folder) ([]Message, error) {
-	se.svc.mu.Lock()
-	defer se.svc.mu.Unlock()
+	se.part.mu.Lock()
+	defer se.part.mu.Unlock()
 	a, err := se.touch()
 	if err != nil {
 		return nil, err
@@ -70,8 +74,8 @@ func (se *Session) List(folder Folder) ([]Message, error) {
 // Read opens a message, marking it read and journaling the action —
 // the signal the Apps-Script scan picks up (§3.1).
 func (se *Session) Read(id MessageID) (Message, error) {
-	se.svc.mu.Lock()
-	defer se.svc.mu.Unlock()
+	se.part.mu.Lock()
+	defer se.part.mu.Unlock()
 	a, err := se.touch()
 	if err != nil {
 		return Message{}, err
@@ -83,7 +87,7 @@ func (se *Session) Read(id MessageID) (Message, error) {
 	if !m.Read {
 		m.Read = true
 		se.svc.journalLocked(a, Event{
-			Time: se.svc.clock.Now(), Kind: EventRead,
+			Time: se.part.now(), Kind: EventRead,
 			Account: se.account, Cookie: se.cookie, Message: id,
 		})
 	}
@@ -92,8 +96,8 @@ func (se *Session) Read(id MessageID) (Message, error) {
 
 // Star marks a message starred (favorited).
 func (se *Session) Star(id MessageID) error {
-	se.svc.mu.Lock()
-	defer se.svc.mu.Unlock()
+	se.part.mu.Lock()
+	defer se.part.mu.Unlock()
 	a, err := se.touch()
 	if err != nil {
 		return err
@@ -105,7 +109,7 @@ func (se *Session) Star(id MessageID) error {
 	if !m.Starred {
 		m.Starred = true
 		se.svc.journalLocked(a, Event{
-			Time: se.svc.clock.Now(), Kind: EventStar,
+			Time: se.part.now(), Kind: EventStar,
 			Account: se.account, Cookie: se.cookie, Message: id,
 		})
 	}
@@ -116,8 +120,8 @@ func (se *Session) Star(id MessageID) error {
 // returns matches oldest-first. Ground truth only: the paper's
 // analysts could not see queries and inferred them via TF-IDF (§4.6).
 func (se *Session) Search(query string) ([]Message, error) {
-	se.svc.mu.Lock()
-	defer se.svc.mu.Unlock()
+	se.part.mu.Lock()
+	defer se.part.mu.Unlock()
 	a, err := se.touch()
 	if err != nil {
 		return nil, err
@@ -125,7 +129,7 @@ func (se *Session) Search(query string) ([]Message, error) {
 	q := strings.TrimSpace(query)
 	a.searchLog = append(a.searchLog, q)
 	se.svc.journalLocked(a, Event{
-		Time: se.svc.clock.Now(), Kind: EventSearch,
+		Time: se.part.now(), Kind: EventSearch,
 		Account: se.account, Cookie: se.cookie, Detail: q,
 	})
 	var out []Message
@@ -145,8 +149,8 @@ func (se *Session) Search(query string) ([]Message, error) {
 
 // CreateDraft stores a new draft and returns its ID.
 func (se *Session) CreateDraft(to, subject, body string) (MessageID, error) {
-	se.svc.mu.Lock()
-	defer se.svc.mu.Unlock()
+	se.part.mu.Lock()
+	defer se.part.mu.Unlock()
 	a, err := se.touch()
 	if err != nil {
 		return 0, err
@@ -155,11 +159,11 @@ func (se *Session) CreateDraft(to, subject, body string) (MessageID, error) {
 	a.nextID++
 	a.messages[id] = &Message{
 		ID: id, Folder: FolderDrafts, From: se.account, To: to,
-		Subject: subject, Body: body, Date: se.svc.clock.Now(),
+		Subject: subject, Body: body, Date: se.part.now(),
 		Read: true,
 	}
 	se.svc.journalLocked(a, Event{
-		Time: se.svc.clock.Now(), Kind: EventDraftCreate,
+		Time: se.part.now(), Kind: EventDraftCreate,
 		Account: se.account, Cookie: se.cookie, Message: id,
 	})
 	return id, nil
@@ -167,8 +171,8 @@ func (se *Session) CreateDraft(to, subject, body string) (MessageID, error) {
 
 // UpdateDraft replaces a draft's content.
 func (se *Session) UpdateDraft(id MessageID, to, subject, body string) error {
-	se.svc.mu.Lock()
-	defer se.svc.mu.Unlock()
+	se.part.mu.Lock()
+	defer se.part.mu.Unlock()
 	a, err := se.touch()
 	if err != nil {
 		return err
@@ -181,9 +185,9 @@ func (se *Session) UpdateDraft(id MessageID, to, subject, body string) error {
 		return ErrNotADraft
 	}
 	m.To, m.Subject, m.Body = to, subject, body
-	m.Date = se.svc.clock.Now()
+	m.Date = se.part.now()
 	se.svc.journalLocked(a, Event{
-		Time: se.svc.clock.Now(), Kind: EventDraftUpdate,
+		Time: se.part.now(), Kind: EventDraftUpdate,
 		Account: se.account, Cookie: se.cookie, Message: id,
 	})
 	return nil
@@ -196,13 +200,13 @@ func (se *Session) UpdateDraft(id MessageID, to, subject, body string) error {
 // The sent copy lands in the Sent folder either way; suspension takes
 // effect for subsequent operations.
 func (se *Session) Send(to, subject, body string) (MessageID, error) {
-	se.svc.mu.Lock()
-	defer se.svc.mu.Unlock()
+	se.part.mu.Lock()
+	defer se.part.mu.Unlock()
 	a, err := se.touch()
 	if err != nil {
 		return 0, err
 	}
-	now := se.svc.clock.Now()
+	now := se.part.now()
 	from := se.account
 	if a.sendFrom != "" {
 		from = a.sendFrom
@@ -217,7 +221,7 @@ func (se *Session) Send(to, subject, body string) (MessageID, error) {
 		Time: now, Kind: EventSend,
 		Account: se.account, Cookie: se.cookie, Message: id, Detail: to,
 	})
-	if err := se.svc.outbound.Deliver(from, to, subject, body, now); err != nil {
+	if err := se.part.outbound.Deliver(from, to, subject, body, now); err != nil {
 		return id, err
 	}
 	if verdict := se.svc.abuse.recordSend(se.account, to, now); verdict != "" {
@@ -229,15 +233,15 @@ func (se *Session) Send(to, subject, body string) (MessageID, error) {
 
 // SendDraft sends an existing draft.
 func (se *Session) SendDraft(id MessageID) error {
-	se.svc.mu.Lock()
+	se.part.mu.Lock()
 	a, err := se.touch()
 	if err != nil {
-		se.svc.mu.Unlock()
+		se.part.mu.Unlock()
 		return err
 	}
 	m, err := a.messageLocked(id)
 	if err != nil || m.Folder != FolderDrafts {
-		se.svc.mu.Unlock()
+		se.part.mu.Unlock()
 		if err != nil {
 			return err
 		}
@@ -245,7 +249,7 @@ func (se *Session) SendDraft(id MessageID) error {
 	}
 	to, subject, body := m.To, m.Subject, m.Body
 	delete(a.messages, id)
-	se.svc.mu.Unlock()
+	se.part.mu.Unlock()
 	_, err = se.Send(to, subject, body)
 	return err
 }
@@ -254,8 +258,8 @@ func (se *Session) SendDraft(id MessageID) error {
 // sessions (including the monitor's scraper — the hijacker behaviour
 // of §4.2). The calling session stays valid.
 func (se *Session) ChangePassword(newPassword string) error {
-	se.svc.mu.Lock()
-	defer se.svc.mu.Unlock()
+	se.part.mu.Lock()
+	defer se.part.mu.Unlock()
 	a, err := se.touch()
 	if err != nil {
 		return err
@@ -264,7 +268,7 @@ func (se *Session) ChangePassword(newPassword string) error {
 	a.passwordChanges++
 	se.passwordAt = a.passwordChanges
 	se.svc.journalLocked(a, Event{
-		Time: se.svc.clock.Now(), Kind: EventPasswordChange,
+		Time: se.part.now(), Kind: EventPasswordChange,
 		Account: se.account, Cookie: se.cookie,
 	})
 	return nil
@@ -273,20 +277,19 @@ func (se *Session) ChangePassword(newPassword string) error {
 // ActivityPage returns the account's access rows; this is what the
 // monitoring scraper reads after logging in (§3.1).
 func (se *Session) ActivityPage() ([]Access, error) {
-	se.svc.mu.Lock()
-	a, err := se.touch()
-	se.svc.mu.Unlock()
+	se.part.mu.Lock()
+	_, err := se.touch()
+	se.part.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
-	_ = a
 	return se.svc.ActivityPage(se.account)
 }
 
 // Delete moves a message to trash.
 func (se *Session) Delete(id MessageID) error {
-	se.svc.mu.Lock()
-	defer se.svc.mu.Unlock()
+	se.part.mu.Lock()
+	defer se.part.mu.Unlock()
 	a, err := se.touch()
 	if err != nil {
 		return err
