@@ -449,10 +449,14 @@ func BenchmarkMonitorScrape(b *testing.B) {
 // Sharded engine: the scaling benchmark behind the fleet-scale design.
 //
 // BenchmarkShardedRun executes the full Table 1 deployment end to end
-// (Setup + Leak + Run) at several (shards, scale) points. The merged
-// dataset for a fixed seed is identical at every shard count — only
-// wall-clock time changes — so the variants measure pure scheduling
-// parallelism. Run with:
+// (Setup + Leak + Run + analysis) at several (shards, scale) points
+// through the engine's default streaming pipeline: each shard
+// classifies its accesses as simulated time advances and the final
+// analysis step merges one aggregate per shard — O(shards) — instead
+// of merging, sorting and classifying every access record (the PR 1
+// shape this benchmark's 32.70s shards=4/scale=10 baseline measured).
+// The reported numbers are identical at every shard count — only
+// wall-clock time changes. Run with:
 //
 //	go test -bench BenchmarkShardedRun -benchtime 1x
 func benchShardedRun(b *testing.B, shards, scale int) {
@@ -469,8 +473,12 @@ func benchShardedRun(b *testing.B, shards, scale int) {
 		if err := exp.RunAll(); err != nil {
 			b.Fatal(err)
 		}
-		if ds := exp.Dataset(); len(ds.Accesses) == 0 {
-			b.Fatal("sharded run produced an empty dataset")
+		agg, err := exp.Aggregates()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if agg.Classes.Total == 0 {
+			b.Fatal("sharded run produced no classified accesses")
 		}
 	}
 }
@@ -487,4 +495,40 @@ func BenchmarkShardedRun(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkStreamingRun isolates the analysis phase the streaming
+// pipeline replaces, over one cached full Table 1 run:
+//
+//   - stream: merge the per-shard aggregates the classifiers built
+//     during the run (what Aggregates does) — O(shards) merge.
+//   - batch: materialise the merged dataset, sort it, classify post
+//     hoc and fold the same aggregates from it (the legacy shape).
+//
+// Both produce byte-identical reports (TestStreamMatchesBatchReports);
+// the delta is pure merge+classify time and allocations.
+func BenchmarkStreamingRun(b *testing.B) {
+	exp, _ := dataset(b)
+	b.Run("stream", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			agg, err := exp.BuildAggregates()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if agg.Classes.Total == 0 {
+				b.Fatal("no classified accesses")
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ds := exp.Dataset()
+			agg := analysis.AggregatesFromDataset(ds, analysis.StreamConfig{})
+			if agg.Classes.Total == 0 {
+				b.Fatal("no classified accesses")
+			}
+		}
+	})
 }

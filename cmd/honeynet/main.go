@@ -4,15 +4,19 @@
 // Usage:
 //
 //	honeynet [-seed N] [-days N] [-experiment id] [-resamples N]
-//	         [-shards N] [-scale K]
+//	         [-shards N] [-scale K] [-stream=bool]
 //
 // Experiment ids: overview, table1, fig1, fig2, fig3, fig4, fig5a,
 // fig5b, cvm, table2, sysconfig, cases, sophistication, all.
 //
 // -shards partitions the run across N parallel schedulers (0 selects
-// one per CPU); the merged dataset for a fixed seed is identical at
-// any shard count. -scale replicates the Table 1 plan K×, simulating
-// 100·K honey accounts.
+// one per CPU); the output for a fixed seed is identical at any shard
+// count. -scale replicates the Table 1 plan K×, simulating 100·K
+// honey accounts. -stream (default true) classifies accesses on the
+// fly inside each shard and reports from merged per-shard aggregates;
+// -stream=false selects the legacy path that merges every access
+// record into one dataset before analysing. Both render byte-identical
+// reports for the same seed.
 package main
 
 import (
@@ -35,8 +39,9 @@ func main() {
 		days       = flag.Int("days", 236, "observation window in days (paper: 236)")
 		experiment = flag.String("experiment", "all", "which artifact to print (overview, table1, fig1..fig5b, cvm, table2, sysconfig, cases, sophistication, all)")
 		resamples  = flag.Int("resamples", 2000, "Cramér–von Mises permutation resamples")
-		shards     = flag.Int("shards", 1, "parallel shard schedulers (0 = one per CPU; dataset is shard-count invariant)")
+		shards     = flag.Int("shards", 1, "parallel shard schedulers (0 = one per CPU; output is shard-count invariant)")
 		scale      = flag.Int("scale", 1, "replicate the deployment plan K× (simulates 100·K accounts for Table 1)")
+		stream     = flag.Bool("stream", true, "classify accesses on the fly per shard and report from merged aggregates (false = legacy full-dataset merge)")
 	)
 	flag.Parse()
 
@@ -47,16 +52,21 @@ func main() {
 		*scale = 1
 	}
 	exp, err := honeynet.New(honeynet.Config{
-		Seed:        *seed,
-		Duration:    time.Duration(*days) * 24 * time.Hour,
-		Shards:      *shards,
-		ScaleFactor: *scale,
+		Seed:             *seed,
+		Duration:         time.Duration(*days) * 24 * time.Hour,
+		Shards:           *shards,
+		ScaleFactor:      *scale,
+		DisableStreaming: !*stream,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "running %d-day deployment (seed %d, %d shard(s), scale %d×)...\n",
-		*days, *seed, exp.Shards(), *scale)
+	mode := "streaming"
+	if !*stream {
+		mode = "batch"
+	}
+	fmt.Fprintf(os.Stderr, "running %d-day deployment (seed %d, %d shard(s), scale %d×, %s)...\n",
+		*days, *seed, exp.Shards(), *scale, mode)
 	start := time.Now()
 	if err := exp.RunAll(); err != nil {
 		log.Fatal(err)
@@ -64,51 +74,86 @@ func main() {
 	fmt.Fprintf(os.Stderr, "done in %v (%d events)\n\n",
 		time.Since(start).Round(time.Millisecond), exp.ShardSet().Fired())
 
-	ds := exp.Dataset()
-	cs := analysis.Classify(ds, analysis.ClassifyOptions{})
+	table1 := func() string {
+		counts := map[int]int{}
+		for _, a := range exp.Assignments() {
+			counts[a.Group.ID]++
+		}
+		var rows []report.Table1Row
+		for id := 1; id <= 5; id++ {
+			if counts[id] > 0 {
+				rows = append(rows, report.Table1Row{Group: id, Count: counts[id], Label: honeynet.PaperGroupLabel(id)})
+			}
+		}
+		return report.Table1(rows)
+	}
+	cases := func(draftCopies int) string {
+		return fmt.Sprintf("Case studies (§4.7)\nblackmail sessions: %d\ndraft copies captured: %d\nforum inquiries: %d\n",
+			exp.Blackmailers(), draftCopies, len(exp.AllInquiries()))
+	}
 
-	sections := map[string]func() string{
-		"overview": func() string { return report.Overview(analysis.Summarize(ds)) },
-		"table1": func() string {
-			counts := map[int]int{}
-			for _, a := range exp.Assignments() {
-				counts[a.Group.ID]++
-			}
-			var rows []report.Table1Row
-			for id := 1; id <= 5; id++ {
-				if counts[id] > 0 {
-					rows = append(rows, report.Table1Row{Group: id, Count: counts[id], Label: honeynet.PaperGroupLabel(id)})
+	var sections map[string]func() string
+	if *stream {
+		// Streaming: every shard classified its accesses as the run
+		// advanced; merge the per-shard aggregates (O(shards)) and
+		// render from them — no merged dataset is ever materialised.
+		agg, err := exp.Aggregates()
+		if err != nil {
+			log.Fatal(err)
+		}
+		sections = map[string]func() string{
+			"overview":  func() string { return report.Overview(agg.Overview()) },
+			"table1":    table1,
+			"fig1":      func() string { return report.Figure1Sketches(agg.Durations) },
+			"fig2":      func() string { return report.Figure2(agg.PerOutlet) },
+			"fig3":      func() string { return report.Figure3Sketches(agg.TimeToAccess) },
+			"fig4":      func() string { return report.Figure4Buckets(agg.Timeline, agg.TimelineMax) },
+			"fig5a":     func() string { return report.Figure5("UK/London", agg.MedianRadii(analysis.HintUK)) },
+			"fig5b":     func() string { return report.Figure5("US/Pontiac", agg.MedianRadii(analysis.HintUS)) },
+			"cvm":       func() string { return report.Significance(agg.LocationSignificance(*resamples, *seed)) },
+			"sysconfig": func() string { return report.SystemConfig(agg.ConfigRows()) },
+			"table2": func() string {
+				r := agg.KeywordInference(exp.SeededContents(), exp.DropWords())
+				return report.Table2(r.TopSearched(10), r.TopCorpus(10))
+			},
+			"cases": func() string { return cases(len(agg.Drafts)) },
+			"sophistication": func() string {
+				return report.Sophistication(agg.ConfigRows(), agg.LocationSignificance(*resamples, *seed))
+			},
+		}
+	} else {
+		ds := exp.Dataset()
+		cs := analysis.Classify(ds, analysis.ClassifyOptions{})
+		sections = map[string]func() string{
+			"overview":  func() string { return report.Overview(analysis.Summarize(ds)) },
+			"table1":    table1,
+			"fig1":      func() string { return report.Figure1(analysis.DurationsByClass(cs)) },
+			"fig2":      func() string { return report.Figure2(analysis.ByOutlet(cs)) },
+			"fig3":      func() string { return report.Figure3(analysis.TimeToFirstAccess(ds)) },
+			"fig4":      func() string { return report.Figure4(analysis.Timeline(ds)) },
+			"fig5a":     func() string { return report.Figure5("UK/London", analysis.MedianRadii(ds, analysis.HintUK)) },
+			"fig5b":     func() string { return report.Figure5("US/Pontiac", analysis.MedianRadii(ds, analysis.HintUS)) },
+			"cvm":       func() string { return report.Significance(analysis.LocationSignificance(ds, *resamples, *seed)) },
+			"sysconfig": func() string { return report.SystemConfig(analysis.SystemConfiguration(ds)) },
+			"table2": func() string {
+				r := analysis.KeywordInference(ds, exp.DropWords())
+				return report.Table2(r.TopSearched(10), r.TopCorpus(10))
+			},
+			"cases": func() string {
+				drafts := 0
+				for _, a := range ds.Actions {
+					if a.Kind == analysis.ActionDraft {
+						drafts++
+					}
 				}
-			}
-			return report.Table1(rows)
-		},
-		"fig1":      func() string { return report.Figure1(analysis.DurationsByClass(cs)) },
-		"fig2":      func() string { return report.Figure2(analysis.ByOutlet(cs)) },
-		"fig3":      func() string { return report.Figure3(analysis.TimeToFirstAccess(ds)) },
-		"fig4":      func() string { return report.Figure4(analysis.Timeline(ds)) },
-		"fig5a":     func() string { return report.Figure5("UK/London", analysis.MedianRadii(ds, analysis.HintUK)) },
-		"fig5b":     func() string { return report.Figure5("US/Pontiac", analysis.MedianRadii(ds, analysis.HintUS)) },
-		"cvm":       func() string { return report.Significance(analysis.LocationSignificance(ds, *resamples, *seed)) },
-		"sysconfig": func() string { return report.SystemConfig(analysis.SystemConfiguration(ds)) },
-		"table2": func() string {
-			r := analysis.KeywordInference(ds, exp.DropWords())
-			return report.Table2(r.TopSearched(10), r.TopCorpus(10))
-		},
-		"cases": func() string {
-			drafts := 0
-			for _, a := range ds.Actions {
-				if a.Kind == analysis.ActionDraft {
-					drafts++
-				}
-			}
-			return fmt.Sprintf("Case studies (§4.7)\nblackmail sessions: %d\ndraft copies captured: %d\nforum inquiries: %d\n",
-				exp.Blackmailers(), drafts, len(exp.AllInquiries()))
-		},
-		"sophistication": func() string {
-			return report.Sophistication(
-				analysis.SystemConfiguration(ds),
-				analysis.LocationSignificance(ds, *resamples, *seed))
-		},
+				return cases(drafts)
+			},
+			"sophistication": func() string {
+				return report.Sophistication(
+					analysis.SystemConfiguration(ds),
+					analysis.LocationSignificance(ds, *resamples, *seed))
+			},
+		}
 	}
 	order := []string{
 		"overview", "table1", "fig1", "fig2", "fig3", "fig4",

@@ -69,7 +69,13 @@ type RadiusRow struct {
 
 // MedianRadii computes Figure 5's circle radii for one region.
 func MedianRadii(ds *Dataset, region Hint) []RadiusRow {
-	vectors := DistanceVectors(ds, region)
+	return MedianRadiiFromVectors(DistanceVectors(ds, region))
+}
+
+// MedianRadiiFromVectors computes the radius rows from pre-extracted
+// distance vectors (each sorted ascending) — the entry point the
+// streaming aggregates share with the dataset path.
+func MedianRadiiFromVectors(vectors map[GroupKey][]float64) []RadiusRow {
 	keys := make([]GroupKey, 0, len(vectors))
 	for k := range vectors {
 		keys = append(keys, k)
@@ -108,9 +114,18 @@ type SignificanceRow struct {
 // LocationSignificance runs the paper's four tests (paste UK, paste
 // US, forum UK, forum US). Pairs with an empty side are skipped.
 func LocationSignificance(ds *Dataset, resamples int, seed int64) []SignificanceRow {
+	return LocationSignificanceFromVectors(func(region Hint) map[GroupKey][]float64 {
+		return DistanceVectors(ds, region)
+	}, resamples, seed)
+}
+
+// LocationSignificanceFromVectors runs the same four tests over
+// distance vectors supplied by a lookup (sorted ascending per group),
+// shared by the dataset and aggregate paths.
+func LocationSignificanceFromVectors(vectorsFor func(Hint) map[GroupKey][]float64, resamples int, seed int64) []SignificanceRow {
 	var out []SignificanceRow
 	for _, region := range []Hint{HintUK, HintUS} {
-		vectors := DistanceVectors(ds, region)
+		vectors := vectorsFor(region)
 		for _, outlet := range []Outlet{OutletPaste, OutletForum} {
 			withHint := vectors[GroupKey{Outlet: outlet, Hint: region}]
 			plain := vectors[GroupKey{Outlet: outlet, Hint: HintNone}]

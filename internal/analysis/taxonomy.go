@@ -70,6 +70,12 @@ type ClassifyOptions struct {
 // before the action), the action attaches to the account's access
 // with the latest Last before t — the best the paper's pipeline could
 // do after a hijack froze the activity page.
+//
+// Attribution is purely per-account (actions on one account never
+// touch another account's accesses) and each action's attribution is
+// independent of the others, so the streaming pipeline reaches the
+// same result by running the same per-account core — classifyAccount
+// — shard by shard; see StreamClassifier.
 func Classify(ds *Dataset, opts ClassifyOptions) []Classified {
 	if opts.Slack <= 0 {
 		opts.Slack = 10 * time.Minute
@@ -80,14 +86,34 @@ func Classify(ds *Dataset, opts ClassifyOptions) []Classified {
 		out[i] = Classified{Access: a, Classes: Curious}
 		byAccount[a.Account] = append(byAccount[a.Account], &out[i])
 	}
+	actionsBy := make(map[string][]Action)
+	for _, act := range ds.Actions {
+		actionsBy[act.Account] = append(actionsBy[act.Account], act)
+	}
+	changesBy := make(map[string][]PasswordChange)
+	for _, pc := range ds.PasswordChanges {
+		changesBy[pc.Account] = append(changesBy[pc.Account], pc)
+	}
+	for account, accesses := range byAccount {
+		classifyAccount(accesses, actionsBy[account], changesBy[account], opts.Slack)
+	}
+	return out
+}
 
-	attribute := func(account string, t time.Time, apply func(*Classified)) {
+// classifyAccount runs the window attribution for one account: the
+// shared core of the batch Classify and the per-shard streaming
+// classifier. accesses must all belong to the same account as the
+// actions and changes; their order decides ties (equal First in the
+// window match, equal Last in the fallback), so callers must present
+// them in a canonical order — both paths use ascending cookie.
+func classifyAccount(accesses []*Classified, actions []Action, changes []PasswordChange, slack time.Duration) {
+	attribute := func(t time.Time, apply func(*Classified)) {
 		// Among accesses whose [First, Last+Slack] window contains t,
 		// the most recently started one is the most plausible actor;
 		// concurrent lurkers should not inherit the action.
 		var match *Classified
-		for _, c := range byAccount[account] {
-			if t.Before(c.Access.First) || t.After(c.Access.Last.Add(opts.Slack)) {
+		for _, c := range accesses {
+			if t.Before(c.Access.First) || t.After(c.Access.Last.Add(slack)) {
 				continue
 			}
 			if match == nil || c.Access.First.After(match.Access.First) {
@@ -101,7 +127,7 @@ func Classify(ds *Dataset, opts ClassifyOptions) []Classified {
 		// Fallback: latest access that started before t (the activity
 		// page may have frozen before the action, §4.2).
 		var best *Classified
-		for _, c := range byAccount[account] {
+		for _, c := range accesses {
 			if c.Access.First.After(t) {
 				continue
 			}
@@ -114,21 +140,17 @@ func Classify(ds *Dataset, opts ClassifyOptions) []Classified {
 		}
 	}
 
-	for _, act := range ds.Actions {
-		act := act
+	for _, act := range actions {
 		switch act.Kind {
-		case ActionRead, ActionDraft:
-			attribute(act.Account, act.Time, func(c *Classified) { c.Classes |= GoldDigger })
+		case ActionRead, ActionDraft, ActionStarred:
+			attribute(act.Time, func(c *Classified) { c.Classes |= GoldDigger })
 		case ActionSent:
-			attribute(act.Account, act.Time, func(c *Classified) { c.Classes |= Spammer })
-		case ActionStarred:
-			attribute(act.Account, act.Time, func(c *Classified) { c.Classes |= GoldDigger })
+			attribute(act.Time, func(c *Classified) { c.Classes |= Spammer })
 		}
 	}
-	for _, pc := range ds.PasswordChanges {
-		attribute(pc.Account, pc.Time, func(c *Classified) { c.Classes |= Hijacker })
+	for _, pc := range changes {
+		attribute(pc.Time, func(c *Classified) { c.Classes |= Hijacker })
 	}
-	return out
 }
 
 // ClassCounts tallies accesses per class; overlapping classes count in
@@ -144,24 +166,40 @@ type ClassCounts struct {
 
 // CountClasses summarises a classification.
 func CountClasses(cs []Classified) ClassCounts {
-	out := ClassCounts{Total: len(cs)}
+	var out ClassCounts
 	for _, c := range cs {
-		switch {
-		case c.Classes == Curious || c.Classes == 0:
-			out.Curious++
-		default:
-			if c.Classes.Has(GoldDigger) {
-				out.GoldDigger++
-			}
-			if c.Classes.Has(Spammer) {
-				out.Spammer++
-			}
-			if c.Classes.Has(Hijacker) {
-				out.Hijacker++
-			}
-		}
+		out.add(c.Classes)
 	}
 	return out
+}
+
+// add folds one classified access into the tally (also the streaming
+// aggregation primitive).
+func (out *ClassCounts) add(c Class) {
+	out.Total++
+	switch {
+	case c == Curious || c == 0:
+		out.Curious++
+	default:
+		if c.Has(GoldDigger) {
+			out.GoldDigger++
+		}
+		if c.Has(Spammer) {
+			out.Spammer++
+		}
+		if c.Has(Hijacker) {
+			out.Hijacker++
+		}
+	}
+}
+
+// merge adds another tally (used when merging shard aggregates).
+func (out *ClassCounts) merge(o ClassCounts) {
+	out.Total += o.Total
+	out.Curious += o.Curious
+	out.GoldDigger += o.GoldDigger
+	out.Spammer += o.Spammer
+	out.Hijacker += o.Hijacker
 }
 
 // ByOutlet buckets classifications per outlet (Figure 2's x-axis).

@@ -124,6 +124,25 @@ func (r *TFIDFResult) rank(n int, key func(TermScore) float64) []TermScore {
 // header words removed, honey handles and monitor markers dropped),
 // and return the TF-IDF result.
 func KeywordInference(ds *Dataset, dropWords []string) *TFIDFResult {
+	var reads []ReadEvent
+	var drafts []DraftEvent
+	for _, act := range ds.Actions {
+		switch act.Kind {
+		case ActionRead:
+			reads = append(reads, ReadEvent{Account: act.Account, Message: act.Message})
+		case ActionDraft:
+			drafts = append(drafts, DraftEvent{Account: act.Account, Message: act.Message, Body: act.Body})
+		}
+	}
+	return KeywordInferenceFromEvents(reads, drafts, ds.Contents, dropWords)
+}
+
+// KeywordInferenceFromEvents is the §4.6 pipeline over raw read/draft
+// events — the form the streaming aggregates carry (accounts are
+// disjoint across shards, so shard event lists simply concatenate).
+// TF-IDF weighs term *counts*, so the event order never matters and
+// the result is identical to the dataset path over the same events.
+func KeywordInferenceFromEvents(reads []ReadEvent, drafts []DraftEvent, contents map[string]map[int64]string, dropWords []string) *TFIDFResult {
 	opts := corpus.DefaultTokenizeOptions()
 	if len(dropWords) > 0 {
 		opts.DropWords = make(map[string]bool, len(dropWords))
@@ -133,7 +152,7 @@ func KeywordInference(ds *Dataset, dropWords []string) *TFIDFResult {
 	}
 
 	var readTokens, allTokens []string
-	for _, msgs := range ds.Contents {
+	for _, msgs := range contents {
 		for _, text := range msgs {
 			allTokens = append(allTokens, corpus.Tokenize(text, opts)...)
 		}
@@ -146,28 +165,23 @@ func KeywordInference(ds *Dataset, dropWords []string) *TFIDFResult {
 	// picked the terms up. Table 2 shows tfidf_A(bitcoin) = 0.0, so
 	// draft text stays out of the "all emails" document.
 	draftBodies := make(map[string]map[int64]string)
-	for _, act := range ds.Actions {
-		if act.Kind != ActionDraft {
-			continue
-		}
-		m, ok := draftBodies[act.Account]
+	for _, d := range drafts {
+		m, ok := draftBodies[d.Account]
 		if !ok {
 			m = make(map[int64]string)
-			draftBodies[act.Account] = m
+			draftBodies[d.Account] = m
 		}
-		m[act.Message] = act.Body
+		m[d.Message] = d.Body
 	}
-	for _, act := range ds.Actions {
-		switch act.Kind {
-		case ActionRead:
-			if text, ok := ds.Contents[act.Account][act.Message]; ok {
-				readTokens = append(readTokens, corpus.Tokenize(text, opts)...)
-			} else if body, ok := draftBodies[act.Account][act.Message]; ok {
-				readTokens = append(readTokens, corpus.Tokenize(body, opts)...)
-			}
-		case ActionDraft:
-			readTokens = append(readTokens, corpus.Tokenize(act.Body, opts)...)
+	for _, r := range reads {
+		if text, ok := contents[r.Account][r.Message]; ok {
+			readTokens = append(readTokens, corpus.Tokenize(text, opts)...)
+		} else if body, ok := draftBodies[r.Account][r.Message]; ok {
+			readTokens = append(readTokens, corpus.Tokenize(body, opts)...)
 		}
+	}
+	for _, d := range drafts {
+		readTokens = append(readTokens, corpus.Tokenize(d.Body, opts)...)
 	}
 	return ComputeTFIDF(readTokens, allTokens)
 }

@@ -1,14 +1,3 @@
-// Package analysis implements the paper's measurement pipeline over
-// the monitoring dataset: the attacker taxonomy of §4.2, the timing
-// analyses behind Figures 1, 3 and 4, the system-configuration
-// breakdown of §4.4, the location analysis and Cramér–von Mises
-// significance testing of §4.5 (Figure 5), and the TF-IDF keyword
-// inference of §4.6 (Table 2).
-//
-// The package consumes only the observables a real deployment would
-// have — activity-page rows, script notifications, scrape failures,
-// and the researchers' own knowledge of the leak plan — so it can be
-// pointed at logs from an actual honey-account deployment unchanged.
 package analysis
 
 import (

@@ -1,0 +1,23 @@
+// Package attacker models the cybercriminals who obtain leaked honey
+// credentials and act on them. It is the generative counterpart of
+// the paper's measurements — the simulator's ground truth that the
+// inference pipeline (internal/analysis) is tested against.
+// Paper-section map:
+//
+//   - §4.2: the taxonomy bitmask (curious, gold digger, spammer,
+//     hijacker — non-exclusive) each persona draws its behaviour from.
+//   - §4.3: session dynamics — how long each class stays connected
+//     and how often it returns.
+//   - §4.5: location behaviour, including decoy-location evasion for
+//     the sophisticated outlet populations and Tor use.
+//   - §4.7: the scripted case studies (blackmail campaign, quota
+//     notice readers, carding-forum registration) in casestudies.go.
+//   - §4.8: per-outlet sophistication differences (stealth,
+//     configuration hiding, detection evasion).
+//
+// Parameters live in calibrate.go with citations to the measured
+// values they target. The engine consumes pickup events from outlets
+// and exfiltration events from the malware sandbox, spawns attacker
+// personas, and drives their sessions against the webmail platform
+// through exactly the client surface a real criminal would use.
+package attacker

@@ -1,16 +1,3 @@
-// Package attacker models the cybercriminals who obtain leaked honey
-// credentials and act on them. It is the generative counterpart of the
-// paper's measurements: the taxonomy of §4.2 (curious, gold digger,
-// spammer, hijacker — non-exclusive), the per-outlet sophistication
-// differences of §4.8 (stealth, configuration hiding, detection
-// evasion), the session dynamics of §4.3, and the case studies of
-// §4.7. Parameters live in calibrate.go with citations to the
-// measured values they target.
-//
-// The engine consumes pickup events from outlets and exfiltration
-// events from the malware sandbox, spawns attacker personas, and
-// drives their sessions against the webmail platform through exactly
-// the client surface a real criminal would use.
 package attacker
 
 import (

@@ -1,0 +1,31 @@
+// Package honeynet is the core of the reproduction: the end-to-end
+// honey-account experiment of the paper. Paper-section map:
+//
+//   - §3.2 Table 1: the deployment plan (plan.go) — 100 accounts
+//     across paste sites, underground forums and info-stealing
+//     malware, with and without decoy-location hints.
+//   - §3.2 honey account setup: Setup seeds Enron-style mailboxes,
+//     installs the hidden monitoring scripts, starts the scrapers.
+//   - §3.2 leaking account credentials: Leak publishes each block's
+//     credentials through its channel.
+//   - §4.7 case studies: scheduled blackmail, quota-notice and
+//     carding-forum scenarios.
+//   - §4.1–§4.6: Dataset (batch) and Aggregates (streaming) export
+//     what internal/analysis and internal/report consume.
+//
+// The engine is sharded for fleet-scale runs: the experiment plan is
+// partitioned across Config.Shards parallel schedulers (see shard.go
+// for the shard/block split), each shard drives its own webmail
+// account partition, monitoring pipeline and sinkhole. For a fixed
+// seed the results are independent of the shard count, because every
+// stochastic stream derives from the owning plan block, not from the
+// shard executing it. Config.ScaleFactor replicates the plan K× to
+// simulate 100·K-account deployments.
+//
+// Two analysis exports exist. Dataset merges every shard's records
+// into one analysis.Dataset (O(records) merge + sort — the paper's
+// post-hoc shape). Aggregates, the default streaming path (stream.go),
+// lets each shard classify accesses while simulated time advances and
+// merges one aggregate per shard — O(shards) — rendering reports
+// byte-identical to the batch path.
+package honeynet

@@ -1,20 +1,3 @@
-// Package honeynet is the core of the reproduction: the end-to-end
-// honey-account experiment of the paper. It builds the webmail
-// platform, creates and seeds the honey accounts, instruments them
-// with scripts, wires the monitoring pipeline and sinkhole, leaks the
-// credentials per Table 1 (paste sites, underground forums,
-// information-stealing malware), runs seven months of virtual time,
-// and exports the dataset every analysis and figure is computed from.
-//
-// The engine is sharded for fleet-scale runs: the experiment plan is
-// partitioned across Config.Shards parallel schedulers (see shard.go
-// for the shard/block split), each shard drives its own webmail
-// account partition, monitoring pipeline and sinkhole, and the
-// per-shard observations merge into one analysis.Dataset at the end.
-// For a fixed seed the merged dataset is independent of the shard
-// count, because every stochastic stream derives from the owning
-// plan block, not from the shard executing it. Config.ScaleFactor
-// replicates the plan K× to simulate 100·K-account deployments.
 package honeynet
 
 import (
@@ -75,6 +58,13 @@ type Config struct {
 	// simulating ScaleFactor·100 accounts for the Table 1 plan. Each
 	// replica draws fresh, independent randomness.
 	ScaleFactor int
+	// DisableStreaming turns off the streaming classification
+	// pipeline (see stream.go). By default every shard classifies its
+	// accesses on the fly and Aggregates() merges per-shard aggregates
+	// in O(shards); with streaming disabled only the batch Dataset()
+	// path is available. For a fixed seed both paths render
+	// byte-identical reports.
+	DisableStreaming bool
 }
 
 func (c Config) withDefaults() Config {
@@ -128,6 +118,8 @@ type Experiment struct {
 
 	setupDone bool
 	leaked    bool
+
+	agg *analysis.Aggregates // cached merged streaming aggregates
 }
 
 // New constructs an experiment; call Setup, Leak, then Run.
@@ -539,17 +531,8 @@ func (e *Experiment) Dataset() *analysis.Dataset {
 
 	for _, sh := range e.shards {
 		for _, n := range sh.store.Notifications() {
-			var kind analysis.ActionKind
-			switch n.Kind {
-			case appscript.NoteRead:
-				kind = analysis.ActionRead
-			case appscript.NoteSent:
-				kind = analysis.ActionSent
-			case appscript.NoteStarred:
-				kind = analysis.ActionStarred
-			case appscript.NoteDraft:
-				kind = analysis.ActionDraft
-			default:
+			kind, ok := actionKind(n.Kind)
+			if !ok {
 				continue // heartbeats/quota are liveness, not actions
 			}
 			ds.Actions = append(ds.Actions, analysis.Action{

@@ -3,6 +3,7 @@ package honeynet
 import (
 	"fmt"
 
+	"repro/internal/analysis"
 	"repro/internal/appscript"
 	"repro/internal/attacker"
 	"repro/internal/geo"
@@ -46,6 +47,9 @@ type shard struct {
 	store   *monitor.Store
 	runtime *appscript.Runtime
 	mon     *monitor.Monitor
+	// sc classifies this shard's accesses as the simulation runs
+	// (nil when Config.DisableStreaming is set).
+	sc *analysis.StreamClassifier
 }
 
 // block owns the deterministic per-plan-entry machinery.
@@ -82,6 +86,10 @@ func newShards(n int, cfg Config, svc *webmail.Service, monEP netsim.Endpoint) (
 		}
 		if err := svc.ConfigurePartition(i, clock.Now, sh.sink); err != nil {
 			return nil, nil, fmt.Errorf("honeynet: bind partition %d: %w", i, err)
+		}
+		if !cfg.DisableStreaming {
+			sh.sc = analysis.NewStreamClassifier(analysis.StreamConfig{})
+			sh.store.SetSink(&streamSink{sc: sh.sc})
 		}
 		sh.runtime = appscript.NewRuntime(svc, sh.sched, sh.store)
 		sh.mon = monitor.New(monitor.Config{

@@ -1,0 +1,140 @@
+package honeynet
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/appscript"
+	"repro/internal/geo"
+	"repro/internal/monitor"
+)
+
+// Streaming classification wiring. With streaming enabled (the
+// default), every shard's monitoring pipeline feeds its own
+// analysis.StreamClassifier through a monitor.Sink while the
+// simulation runs; at the end, Aggregates finalises each shard's
+// classifier and merges the per-shard aggregates — O(shards) merge
+// work — instead of materialising and sorting the full merged
+// dataset. Dataset() remains available as the batch path; for a
+// fixed seed both render byte-identical reports at any shard count
+// (asserted by TestStreamMatchesBatchReports at the repo root).
+
+// actionKind maps a script notification kind to the analysis action
+// it evidences. Heartbeat and quota notifications are liveness, not
+// attacker actions, and map to nothing.
+func actionKind(k appscript.NotificationKind) (analysis.ActionKind, bool) {
+	switch k {
+	case appscript.NoteRead:
+		return analysis.ActionRead, true
+	case appscript.NoteSent:
+		return analysis.ActionSent, true
+	case appscript.NoteStarred:
+		return analysis.ActionStarred, true
+	case appscript.NoteDraft:
+		return analysis.ActionDraft, true
+	default:
+		return "", false
+	}
+}
+
+// streamSink adapts one shard's monitoring observations to its
+// StreamClassifier. Plan annotations (outlet, hint, leak time) are
+// not known to the monitor; they are resolved from the experiment
+// plan when the aggregates are finalised.
+type streamSink struct {
+	sc *analysis.StreamClassifier
+}
+
+func (s *streamSink) ObserveAccess(r monitor.AccessRecord) {
+	a := analysis.Access{
+		Account:   r.Account,
+		Cookie:    r.Cookie,
+		First:     r.First,
+		Last:      r.Last,
+		IP:        r.IP,
+		City:      r.City,
+		Country:   r.Country,
+		HasPoint:  r.HasPoint,
+		UserAgent: r.UserAgent,
+	}
+	a.Point = geo.Point{Lat: r.Lat, Lon: r.Lon}
+	s.sc.ObserveAccess(a)
+}
+
+func (s *streamSink) ObserveNotification(n appscript.Notification) {
+	kind, ok := actionKind(n.Kind)
+	if !ok {
+		return
+	}
+	s.sc.ObserveAction(analysis.Action{
+		Time:    n.Time,
+		Account: n.Account,
+		Kind:    kind,
+		Message: int64(n.Message),
+		Body:    n.Body,
+	})
+}
+
+func (s *streamSink) ObserveFailure(f monitor.ScrapeFailure) {
+	if f.Reason != "password-changed" {
+		return
+	}
+	s.sc.ObservePasswordChange(analysis.PasswordChange{Account: f.Account, Time: f.Time})
+}
+
+// StreamingEnabled reports whether the experiment classifies accesses
+// on the fly (Config.DisableStreaming unset).
+func (e *Experiment) StreamingEnabled() bool { return !e.cfg.DisableStreaming }
+
+// BuildAggregates finalises every shard's streaming classifier
+// against the plan facts and merges the per-shard aggregates. It
+// recomputes from the classifiers' retained state on every call (the
+// benchmark harness relies on that); use Aggregates for the cached
+// form. It errors when streaming is disabled.
+func (e *Experiment) BuildAggregates() (*analysis.Aggregates, error) {
+	if e.cfg.DisableStreaming {
+		return nil, fmt.Errorf("honeynet: streaming disabled; use Dataset")
+	}
+	facts := func(account string) analysis.Facts {
+		b, ok := e.blockOf[account]
+		if !ok {
+			return analysis.Facts{}
+		}
+		return analysis.Facts{
+			Outlet:   b.spec.Channel,
+			Hint:     b.spec.Hint,
+			LeakTime: e.leakTimes[account],
+		}
+	}
+	listed := func(ip string) bool {
+		_, ok := e.bl.LookupString(ip)
+		return ok
+	}
+	merged := analysis.NewAggregates(nil, nil)
+	for _, sh := range e.shards {
+		if err := merged.Merge(sh.sc.Finalize(facts, listed)); err != nil {
+			return nil, fmt.Errorf("honeynet: merge shard %d aggregates: %w", sh.id, err)
+		}
+	}
+	merged.SuspendedAccounts = e.svc.SuspendedCount()
+	return merged, nil
+}
+
+// Aggregates returns the merged streaming aggregates, building them
+// on first call and caching the result.
+func (e *Experiment) Aggregates() (*analysis.Aggregates, error) {
+	if e.agg != nil {
+		return e.agg, nil
+	}
+	agg, err := e.BuildAggregates()
+	if err != nil {
+		return nil, err
+	}
+	e.agg = agg
+	return agg, nil
+}
+
+// SeededContents exposes the seeded mailbox texts (account → message
+// id → subject+body), the dA corpus of the §4.6 keyword inference.
+// Callers must treat the maps as read-only.
+func (e *Experiment) SeededContents() map[string]map[int64]string { return e.contents }

@@ -1,20 +1,3 @@
-// Package monitor implements the paper's monitoring infrastructure
-// (§3.1): a collector that receives the Apps-Script notifications (the
-// "dedicated webmail account [used] as a notifications store"), and a
-// scraper that periodically logs into every honey account to dump its
-// activity page — cookie identifiers, geolocation, access times, and
-// system fingerprints — for offline parsing.
-//
-// Two paper-faithful details matter downstream:
-//
-//   - Self-access filtering (§4.1): accesses made by the monitoring
-//     infrastructure itself, and any access from the city the
-//     infrastructure runs in, are removed from the dataset.
-//   - Loss of visibility (§4.2): when a hijacker changes an account
-//     password the scraper's credentials stop working, so activity
-//     rows freeze at their last scraped state — a lower bound on
-//     access durations — while notifications keep flowing because the
-//     embedded scripts keep running.
 package monitor
 
 import (
@@ -46,6 +29,25 @@ type ScrapeFailure struct {
 	Reason  string // "password-changed" or "suspended"
 }
 
+// Sink receives the monitoring pipeline's observations as they
+// happen, instead of waiting for the end-of-run Dataset extraction.
+// The streaming classification pipeline implements it: each shard's
+// store/monitor pair feeds its shard's classifier while simulated
+// time advances.
+//
+// Delivery contract: ObserveAccess carries the latest activity row
+// for one (account, cookie) pair and may fire repeatedly as the row's
+// Last advances — receivers keep the newest. The §4.1 self-filter
+// (the monitor's own cookies, the infrastructure's city) is applied
+// before delivery, so sinks see exactly the rows Dataset would
+// export. ObserveNotification forwards every script notification
+// (including heartbeats); ObserveFailure fires once per lost account.
+type Sink interface {
+	ObserveAccess(AccessRecord)
+	ObserveNotification(appscript.Notification)
+	ObserveFailure(ScrapeFailure)
+}
+
 // Store accumulates everything the monitoring pipeline observes.
 // It is safe for concurrent use.
 type Store struct {
@@ -55,6 +57,22 @@ type Store struct {
 	failures      []ScrapeFailure
 	failed        map[string]bool // account -> scraper locked out
 	lastHeartbeat map[string]time.Time
+	sink          Sink
+}
+
+// SetSink registers a streaming observer. Call before the run starts;
+// events already recorded are not replayed.
+func (s *Store) SetSink(sink Sink) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sink = sink
+}
+
+// Sink returns the registered streaming observer (nil if none).
+func (s *Store) Sink() Sink {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sink
 }
 
 // NewStore returns an empty store.
@@ -69,10 +87,14 @@ func NewStore() *Store {
 // Notify implements appscript.Notifier.
 func (s *Store) Notify(n appscript.Notification) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.notifications = append(s.notifications, n)
 	if n.Kind == appscript.NoteHeartbeat {
 		s.lastHeartbeat[n.Account] = n.Time
+	}
+	sink := s.sink
+	s.mu.Unlock()
+	if sink != nil {
+		sink.ObserveNotification(n)
 	}
 }
 
@@ -98,8 +120,11 @@ func (s *Store) NotificationsFor(account string) []appscript.Notification {
 	return out
 }
 
-// recordAccesses merges freshly scraped activity rows.
-func (s *Store) recordAccesses(account string, rows []webmail.Access) {
+// recordAccesses merges freshly scraped activity rows and returns the
+// rows that actually changed since the last scrape — the delta the
+// streaming sink needs (unchanged rows would only make the classifier
+// rewrite identical state).
+func (s *Store) recordAccesses(account string, rows []webmail.Access) []webmail.Access {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	m, ok := s.accesses[account]
@@ -107,20 +132,31 @@ func (s *Store) recordAccesses(account string, rows []webmail.Access) {
 		m = make(map[string]webmail.Access)
 		s.accesses[account] = m
 	}
+	var changed []webmail.Access
 	for _, r := range rows {
-		m[r.Cookie] = r
+		if old, seen := m[r.Cookie]; !seen || old != r {
+			m[r.Cookie] = r
+			changed = append(changed, r)
+		}
 	}
+	return changed
 }
 
 // recordFailure notes a lost account (first failure only).
 func (s *Store) recordFailure(account, reason string, at time.Time) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.failed[account] {
+		s.mu.Unlock()
 		return
 	}
 	s.failed[account] = true
-	s.failures = append(s.failures, ScrapeFailure{Account: account, Time: at, Reason: reason})
+	f := ScrapeFailure{Account: account, Time: at, Reason: reason}
+	s.failures = append(s.failures, f)
+	sink := s.sink
+	s.mu.Unlock()
+	if sink != nil {
+		sink.ObserveFailure(f)
+	}
 }
 
 // Failures returns all scrape failures in order of occurrence.
@@ -285,7 +321,24 @@ func (m *Monitor) scrapeOne(account string, now time.Time) {
 		m.store.recordFailure(account, fmt.Sprintf("scrape: %v", err), now)
 		return
 	}
-	m.store.recordAccesses(account, rows)
+	changed := m.store.recordAccesses(account, rows)
+	sink := m.store.Sink()
+	if sink == nil {
+		return
+	}
+	// Stream the delta with the §4.1 self-filter already applied, so
+	// the sink sees exactly the records Dataset will export. The
+	// monitor's cookie for this account is the only one of its cookies
+	// that can appear on this account's activity page.
+	for _, r := range changed {
+		if r.Cookie == cookie {
+			continue
+		}
+		if m.selfCity != "" && r.City == m.selfCity {
+			continue
+		}
+		sink.ObserveAccess(AccessRecord{Account: account, Access: r})
+	}
 }
 
 // Dataset extracts the analysis-ready access records, applying the

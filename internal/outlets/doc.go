@@ -1,0 +1,16 @@
+// Package outlets simulates the venues where honey credentials were
+// leaked. Paper-section map:
+//
+//   - §3.2 (leaking account credentials): public paste sites
+//     (including two Russian ones) and open underground forums — the
+//     channels of Table 1's groups. An outlet's job in the ecosystem
+//     is to control WHO finds a leaked credential and WHEN.
+//   - §4.3 (Figures 3 and 4): time-to-first-access and the access
+//     timeline are entirely shaped by these pickup processes.
+//   - §3.2 / §4.7: the forum-specific side channel of inquiry
+//     messages from prospective buyers (the authors logged inquiries
+//     "about obtaining the full dataset, but we did not follow up").
+//
+// Pickup events are delivered to a callback; the attacker engine
+// turns each pickup into one cybercriminal's sessions on the account.
+package outlets

@@ -1,14 +1,3 @@
-// Package outlets simulates the venues where honey credentials were
-// leaked (§3.2): public paste sites (including two Russian ones) and
-// open underground forums. An outlet's job in the ecosystem is to
-// control WHO finds a leaked credential and WHEN — the paper's
-// Figures 3 and 4 are entirely about those pickup processes — plus the
-// forum-specific side channel of inquiry messages from prospective
-// buyers (§3.2: the authors logged inquiries "about obtaining the full
-// dataset, but we did not follow up").
-//
-// Pickup events are delivered to a callback; the attacker engine turns
-// each pickup into one cybercriminal's sessions on the account.
 package outlets
 
 import (

@@ -1,0 +1,174 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/stats"
+)
+
+// Empty dataset: every aggregate renderer must degrade exactly like
+// its dataset-backed sibling — headers only, "(empty)" series, one
+// zero row for the timeline — and never panic.
+func TestAggregateRenderingEmpty(t *testing.T) {
+	agg := analysis.NewStreamClassifier(analysis.StreamConfig{}).Finalize(nil, nil)
+
+	if got, want := Figure1Sketches(agg.Durations), Figure1(map[string][]float64{}); got != want {
+		t.Fatalf("empty Figure1: sketch %q vs dataset %q", got, want)
+	}
+	if got, want := Figure3Sketches(agg.TimeToAccess), Figure3(map[analysis.Outlet][]float64{}); got != want {
+		t.Fatalf("empty Figure3: sketch %q vs dataset %q", got, want)
+	}
+	if got, want := Figure4Buckets(agg.Timeline, agg.TimelineMax), Figure4(nil); got != want {
+		t.Fatalf("empty Figure4: sketch %q vs dataset %q", got, want)
+	}
+	if got := Figure2(agg.PerOutlet); !strings.Contains(got, "outlet") {
+		t.Fatalf("empty Figure2 lost its header: %q", got)
+	}
+	if got, want := Overview(agg.Overview()), Overview(analysis.Summarize(&analysis.Dataset{})); got != want {
+		t.Fatalf("empty overview: %q vs %q", got, want)
+	}
+	if got := SystemConfig(agg.ConfigRows()); !strings.Contains(got, "outlet") {
+		t.Fatalf("empty sysconfig: %q", got)
+	}
+	if rows := agg.MedianRadii(analysis.HintUK); len(rows) != 0 {
+		t.Fatalf("empty aggregates produced radius rows: %v", rows)
+	}
+}
+
+// SketchSeries must render byte-identically to CDFSeries over the
+// same sample, including the empty form.
+func TestSketchSeriesMatchesCDFSeries(t *testing.T) {
+	probes := []float64{1, 5, 10}
+	sample := []float64{0.5, 2, 2, 7, 40}
+	sk := stats.NewProbeSketch(probes)
+	for _, v := range sample {
+		sk.Add(v)
+	}
+	if got, want := SketchSeries("paste", sk), CDFSeries("paste", sample, probes); got != want {
+		t.Fatalf("sketch %q vs ecdf %q", got, want)
+	}
+	empty := stats.NewProbeSketch(probes)
+	if got, want := SketchSeries("x", empty), CDFSeries("x", nil, probes); got != want {
+		t.Fatalf("empty sketch %q vs ecdf %q", got, want)
+	}
+	if got, want := SketchSeries("x", nil), CDFSeries("x", nil, probes); got != want {
+		t.Fatalf("nil sketch %q vs ecdf %q", got, want)
+	}
+}
+
+// singleAccessDataset builds a one-access dataset (a lone curious
+// login) plus its classified form.
+func singleAccessDataset() *analysis.Dataset {
+	leak := time.Date(2015, 6, 25, 0, 0, 0, 0, time.UTC)
+	return &analysis.Dataset{
+		Accesses: []analysis.Access{{
+			Account: "a@honeymail.example", Cookie: "c-1",
+			First: leak.Add(36 * time.Hour), Last: leak.Add(37 * time.Hour),
+			Outlet: analysis.OutletForum, LeakTime: leak,
+			HasPoint: false, UserAgent: "",
+		}},
+	}
+}
+
+// Single class / single access: the aggregate renderers agree with
+// the dataset renderers on the smallest possible population.
+func TestAggregateRenderingSingleClass(t *testing.T) {
+	ds := singleAccessDataset()
+	agg := analysis.AggregatesFromDataset(ds, analysis.StreamConfig{})
+	cs := analysis.Classify(ds, analysis.ClassifyOptions{})
+
+	if got, want := Figure1Sketches(agg.Durations), Figure1(analysis.DurationsByClass(cs)); got != want {
+		t.Fatalf("Figure1: %q vs %q", got, want)
+	}
+	if !strings.Contains(Figure1Sketches(agg.Durations), "curious (n=1)") {
+		t.Fatalf("single curious access missing from Figure1: %q", Figure1Sketches(agg.Durations))
+	}
+	if got, want := Figure2(agg.PerOutlet), Figure2(analysis.ByOutlet(cs)); got != want {
+		t.Fatalf("Figure2: %q vs %q", got, want)
+	}
+	if got, want := Figure3Sketches(agg.TimeToAccess), Figure3(analysis.TimeToFirstAccess(ds)); got != want {
+		t.Fatalf("Figure3: %q vs %q", got, want)
+	}
+	if got, want := Figure4Buckets(agg.Timeline, agg.TimelineMax), Figure4(analysis.Timeline(ds)); got != want {
+		t.Fatalf("Figure4: %q vs %q", got, want)
+	}
+	if got, want := Overview(agg.Overview()), Overview(analysis.Summarize(ds)); got != want {
+		t.Fatalf("Overview: %q vs %q", got, want)
+	}
+	if got, want := SystemConfig(agg.ConfigRows()), SystemConfig(analysis.SystemConfiguration(ds)); got != want {
+		t.Fatalf("SystemConfig: %q vs %q", got, want)
+	}
+}
+
+// Single shard vs many shards: splitting the same records across
+// several aggregates and merging must render identically to one
+// aggregate over everything (merge associativity at the render
+// level).
+func TestAggregateRenderingShardSplit(t *testing.T) {
+	leak := time.Date(2015, 6, 25, 0, 0, 0, 0, time.UTC)
+	accessFor := func(account, cookie string, outlet analysis.Outlet, firstH, lastH int) analysis.Access {
+		return analysis.Access{
+			Account: account, Cookie: cookie,
+			First: leak.Add(time.Duration(firstH) * time.Hour), Last: leak.Add(time.Duration(lastH) * time.Hour),
+			Outlet: outlet, LeakTime: leak, UserAgent: "Mozilla/5.0 Chrome",
+		}
+	}
+	ds := &analysis.Dataset{
+		Accesses: []analysis.Access{
+			accessFor("a@x", "c-1", analysis.OutletPaste, 24, 30),
+			accessFor("a@x", "c-2", analysis.OutletPaste, 60, 61),
+			accessFor("b@x", "c-3", analysis.OutletForum, 100, 120),
+			accessFor("c@x", "c-4", analysis.OutletMalware, 300, 302),
+		},
+		Actions: []analysis.Action{
+			{Time: leak.Add(25 * time.Hour), Account: "a@x", Kind: analysis.ActionRead, Message: 1},
+			{Time: leak.Add(110 * time.Hour), Account: "b@x", Kind: analysis.ActionSent, Message: 2},
+		},
+	}
+	whole := analysis.AggregatesFromDataset(ds, analysis.StreamConfig{})
+
+	// Shard split: accounts a,c on shard 0, account b on shard 1
+	// (accounts never straddle shards).
+	part := func(accounts ...string) *analysis.Dataset {
+		want := map[string]bool{}
+		for _, a := range accounts {
+			want[a] = true
+		}
+		out := &analysis.Dataset{}
+		for _, a := range ds.Accesses {
+			if want[a.Account] {
+				out.Accesses = append(out.Accesses, a)
+			}
+		}
+		for _, act := range ds.Actions {
+			if want[act.Account] {
+				out.Actions = append(out.Actions, act)
+			}
+		}
+		return out
+	}
+	merged := analysis.AggregatesFromDataset(part("a@x", "c@x"), analysis.StreamConfig{})
+	if err := merged.Merge(analysis.AggregatesFromDataset(part("b@x"), analysis.StreamConfig{})); err != nil {
+		t.Fatal(err)
+	}
+
+	renders := []struct {
+		name string
+		from func(*analysis.Aggregates) string
+	}{
+		{"Overview", func(a *analysis.Aggregates) string { return Overview(a.Overview()) }},
+		{"Figure1", func(a *analysis.Aggregates) string { return Figure1Sketches(a.Durations) }},
+		{"Figure2", func(a *analysis.Aggregates) string { return Figure2(a.PerOutlet) }},
+		{"Figure3", func(a *analysis.Aggregates) string { return Figure3Sketches(a.TimeToAccess) }},
+		{"Figure4", func(a *analysis.Aggregates) string { return Figure4Buckets(a.Timeline, a.TimelineMax) }},
+		{"SystemConfig", func(a *analysis.Aggregates) string { return SystemConfig(a.ConfigRows()) }},
+	}
+	for _, r := range renders {
+		if got, want := r.from(merged), r.from(whole); got != want {
+			t.Fatalf("%s differs after shard split+merge:\n%q\nvs\n%q", r.name, got, want)
+		}
+	}
+}

@@ -52,7 +52,11 @@ func (t *Table) String() string {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[i], c)
+			if i == len(cells)-1 {
+				b.WriteString(c) // no trailing padding on the last column
+			} else {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			}
 		}
 		b.WriteByte('\n')
 	}
@@ -118,7 +122,7 @@ type Table1Row struct {
 // Figure1 renders the access-length CDFs per taxonomy class
 // (durations in hours).
 func Figure1(durations map[string][]float64) string {
-	probes := []float64{0.1, 0.5, 1, 6, 24, 72, 168}
+	probes := analysis.DurationProbes
 	keys := sortedKeys(durations)
 	var b strings.Builder
 	b.WriteString("Figure 1: CDF of unique-access length by class (hours)\n")
@@ -153,7 +157,7 @@ func Figure2(per map[analysis.Outlet]analysis.ClassCounts) string {
 
 // Figure3 renders the time-to-access CDFs per outlet (days).
 func Figure3(days map[analysis.Outlet][]float64) string {
-	probes := []float64{1, 5, 10, 25, 50, 100, 150, 200}
+	probes := analysis.LeakDaysProbes
 	var b strings.Builder
 	b.WriteString("Figure 3: CDF of days from leak to access by outlet\n")
 	for _, o := range []analysis.Outlet{analysis.OutletPaste, analysis.OutletPasteRussian, analysis.OutletForum, analysis.OutletMalware} {
@@ -164,7 +168,9 @@ func Figure3(days map[analysis.Outlet][]float64) string {
 	return b.String()
 }
 
-// Figure4 renders the access timeline as day-bucket counts per outlet.
+// Figure4 renders the access timeline as day-bucket counts per
+// outlet. It buckets the points and delegates to Figure4Buckets, the
+// aggregate-backed renderer, so both paths share one table shape.
 func Figure4(points []analysis.TimelinePoint) string {
 	buckets := map[analysis.Outlet]map[int]int{}
 	maxBucket := 0
@@ -178,17 +184,7 @@ func Figure4(points []analysis.TimelinePoint) string {
 			maxBucket = b
 		}
 	}
-	t := NewTable("days", "paste", "paste-ru", "forum", "malware")
-	for b := 0; b <= maxBucket; b++ {
-		t.AddRow(
-			fmt.Sprintf("%d-%d", b*10, b*10+9),
-			fmt.Sprint(buckets[analysis.OutletPaste][b]),
-			fmt.Sprint(buckets[analysis.OutletPasteRussian][b]),
-			fmt.Sprint(buckets[analysis.OutletForum][b]),
-			fmt.Sprint(buckets[analysis.OutletMalware][b]),
-		)
-	}
-	return "Figure 4: unique accesses per 10-day window since leak\n" + t.String()
+	return Figure4Buckets(buckets, maxBucket)
 }
 
 // Figure5 renders the median-radius rows for one region.

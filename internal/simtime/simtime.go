@@ -16,68 +16,79 @@ import (
 	"container/heap"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Clock is a monotonically advancing virtual clock. The zero value is
 // not usable; construct one with NewClock. Clock is safe for
 // concurrent use.
+//
+// The instant is stored as atomic Unix nanoseconds: Now sits on the
+// hot path of every simulated component (tens of millions of calls in
+// a fleet-scale run), and a lock-free load beats even an RWMutex read
+// lock by a wide margin. All experiment times are well inside the
+// ±292-year UnixNano range.
 type Clock struct {
-	mu  sync.RWMutex
-	now time.Time
+	nowNS atomic.Int64
 }
 
 // NewClock returns a Clock set to the given start instant.
 func NewClock(start time.Time) *Clock {
-	return &Clock{now: start}
+	c := &Clock{}
+	c.nowNS.Store(start.UnixNano())
+	return c
 }
 
-// Now returns the current virtual time.
+// Now returns the current virtual time (UTC).
 func (c *Clock) Now() time.Time {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.now
+	return time.Unix(0, c.nowNS.Load()).UTC()
 }
 
-// advance moves the clock forward to t. It panics if t is earlier
-// than the current virtual time: the simulation must never travel
-// backwards, and a violation indicates a scheduler bug.
-func (c *Clock) advance(t time.Time) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if t.Before(c.now) {
-		panic(fmt.Sprintf("simtime: clock moved backwards: %v -> %v", c.now, t))
+// nowNanos returns the current virtual time in Unix nanoseconds.
+func (c *Clock) nowNanos() int64 { return c.nowNS.Load() }
+
+// advance moves the clock forward to t (Unix nanoseconds). It panics
+// if t is earlier than the current virtual time: the simulation must
+// never travel backwards, and a violation indicates a scheduler bug.
+func (c *Clock) advance(t int64) {
+	now := c.nowNS.Load()
+	if t < now {
+		panic(fmt.Sprintf("simtime: clock moved backwards: %v -> %v",
+			time.Unix(0, now).UTC(), time.Unix(0, t).UTC()))
 	}
-	c.now = t
+	c.nowNS.Store(t)
 }
 
 // Event is a scheduled callback. Events compare by (when, seq): two
 // events due at the same instant fire in scheduling order, which keeps
 // runs reproducible.
 type Event struct {
-	when time.Time
-	seq  uint64
-	name string
-	fn   func(now time.Time)
+	whenNS int64 // due instant in Unix nanoseconds (the heap key)
+	seq    uint64
+	name   string
+	fn     func(now time.Time)
 
 	index    int // heap index, -1 when popped or cancelled
 	canceled bool
 }
 
 // When returns the instant the event is due.
-func (e *Event) When() time.Time { return e.when }
+func (e *Event) When() time.Time { return time.Unix(0, e.whenNS).UTC() }
 
 // Name returns the diagnostic label the event was scheduled with.
 func (e *Event) Name() string { return e.name }
 
-// eventQueue is a min-heap of events ordered by (when, seq).
+// eventQueue is a min-heap of events ordered by (when, seq). Keys are
+// integer nanoseconds: heap sift dominates a fleet-scale run's
+// profile, and two int compares beat time.Time's Equal/Before pair.
 type eventQueue []*Event
 
 func (q eventQueue) Len() int { return len(q) }
 
 func (q eventQueue) Less(i, j int) bool {
-	if !q[i].when.Equal(q[j].when) {
-		return q[i].when.Before(q[j].when)
+	if q[i].whenNS != q[j].whenNS {
+		return q[i].whenNS < q[j].whenNS
 	}
 	return q[i].seq < q[j].seq
 }
@@ -113,7 +124,7 @@ type Scheduler struct {
 	queue eventQueue
 	seq   uint64
 
-	fired uint64
+	fired atomic.Uint64
 }
 
 // NewScheduler returns a Scheduler driving the given clock.
@@ -135,11 +146,7 @@ func (s *Scheduler) Len() int {
 }
 
 // Fired returns the total number of events executed so far.
-func (s *Scheduler) Fired() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.fired
-}
+func (s *Scheduler) Fired() uint64 { return s.fired.Load() }
 
 // At schedules fn to run at instant t. Events scheduled in the past
 // fire immediately on the next Step (the clock never goes backwards;
@@ -151,7 +158,7 @@ func (s *Scheduler) At(t time.Time, name string, fn func(now time.Time)) *Event 
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	e := &Event{when: t, seq: s.seq, name: name, fn: fn}
+	e := &Event{whenNS: t.UnixNano(), seq: s.seq, name: name, fn: fn}
 	s.seq++
 	heap.Push(&s.queue, e)
 	return e
@@ -170,32 +177,19 @@ func (s *Scheduler) Every(interval time.Duration, name string, fn func(now time.
 	if interval <= 0 {
 		panic("simtime: Every requires a positive interval")
 	}
-	var (
-		mu      sync.Mutex
-		stopped bool
-	)
+	var stopped atomic.Bool
 	var tick func(now time.Time)
 	tick = func(now time.Time) {
-		mu.Lock()
-		dead := stopped
-		mu.Unlock()
-		if dead {
+		if stopped.Load() {
 			return
 		}
 		fn(now)
-		mu.Lock()
-		dead = stopped
-		mu.Unlock()
-		if !dead {
+		if !stopped.Load() {
 			s.After(interval, name, tick)
 		}
 	}
 	s.After(interval, name, tick)
-	return func() {
-		mu.Lock()
-		stopped = true
-		mu.Unlock()
-	}
+	return func() { stopped.Store(true) }
 }
 
 // Cancel removes a pending event. Cancelling an event that already
@@ -216,22 +210,32 @@ func (s *Scheduler) Cancel(e *Event) bool {
 
 // pop removes and returns the earliest pending event, or nil.
 func (s *Scheduler) pop() *Event {
+	return s.popDue(int64(^uint64(0) >> 1)) // max int64: everything is due
+}
+
+// popDue removes and returns the earliest pending event due at or
+// before deadlineNS, or nil. One lock round-trip serves the peek and
+// the pop — the run loop executes this once per event, so the saving
+// is per-event.
+func (s *Scheduler) popDue(deadlineNS int64) *Event {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.queue) == 0 {
+	if len(s.queue) == 0 || s.queue[0].whenNS > deadlineNS {
 		return nil
 	}
 	return heap.Pop(&s.queue).(*Event)
 }
 
-// peekWhen reports the due time of the earliest pending event.
-func (s *Scheduler) peekWhen() (time.Time, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if len(s.queue) == 0 {
-		return time.Time{}, false
+// run executes the popped event: advance the clock (past-due events
+// observe the current time), count it, call it.
+func (s *Scheduler) run(e *Event) {
+	now := s.clock.nowNanos()
+	if e.whenNS > now {
+		s.clock.advance(e.whenNS)
+		now = e.whenNS
 	}
-	return s.queue[0].when, true
+	s.fired.Add(1)
+	e.fn(time.Unix(0, now).UTC())
 }
 
 // Step executes the single earliest pending event, advancing the clock
@@ -242,13 +246,7 @@ func (s *Scheduler) Step() bool {
 	if e == nil {
 		return false
 	}
-	if e.when.After(s.clock.Now()) {
-		s.clock.advance(e.when)
-	}
-	s.mu.Lock()
-	s.fired++
-	s.mu.Unlock()
-	e.fn(s.clock.Now())
+	s.run(e)
 	return true
 }
 
@@ -257,19 +255,18 @@ func (s *Scheduler) Step() bool {
 // deadline (if reached) or at the last executed event. It returns the
 // number of events executed.
 func (s *Scheduler) RunUntil(deadline time.Time) int {
+	deadlineNS := deadline.UnixNano()
 	n := 0
 	for {
-		when, ok := s.peekWhen()
-		if !ok || when.After(deadline) {
+		e := s.popDue(deadlineNS)
+		if e == nil {
 			break
 		}
-		if !s.Step() {
-			break
-		}
+		s.run(e)
 		n++
 	}
-	if deadline.After(s.clock.Now()) {
-		s.clock.advance(deadline)
+	if deadlineNS > s.clock.nowNanos() {
+		s.clock.advance(deadlineNS)
 	}
 	return n
 }

@@ -17,7 +17,7 @@ func TestClockNow(t *testing.T) {
 
 func TestClockAdvance(t *testing.T) {
 	c := NewClock(t0)
-	c.advance(t0.Add(time.Hour))
+	c.advance(t0.Add(time.Hour).UnixNano())
 	if got := c.Now(); !got.Equal(t0.Add(time.Hour)) {
 		t.Fatalf("Now() = %v, want %v", got, t0.Add(time.Hour))
 	}
@@ -30,7 +30,7 @@ func TestClockBackwardsPanics(t *testing.T) {
 			t.Fatal("advancing backwards did not panic")
 		}
 	}()
-	c.advance(t0.Add(-time.Second))
+	c.advance(t0.Add(-time.Second).UnixNano())
 }
 
 func TestSchedulerOrdering(t *testing.T) {

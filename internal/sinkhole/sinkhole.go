@@ -1,16 +1,3 @@
-// Package sinkhole implements the researchers' sinkhole mailserver
-// (§3.1, §3.4): every honey account's send-from address points at it,
-// it accepts everything a client offers over a minimal SMTP-style
-// exchange, stores the message, and never forwards anything — so no
-// spam or blackmail composed on a honey account can reach a victim.
-//
-// Two front ends share one Store:
-//
-//   - Server speaks a line-based SMTP subset (HELO/MAIL FROM/RCPT
-//     TO/DATA/QUIT) over real TCP, for the standalone daemon and the
-//     live-servers example.
-//   - Store itself implements webmail.Outbound for the in-process
-//     simulation path.
 package sinkhole
 
 import (

@@ -1,0 +1,15 @@
+// Package stats provides the statistical toolkit the paper's figures
+// are built from. Paper-section map:
+//
+//   - §4.3 (Figures 1 and 3): empirical CDFs — exact (ECDF) for the
+//     batch pipeline, and mergeable fixed-grid sketches (ProbeSketch)
+//     for the streaming pipeline. Both print identical values at the
+//     figures' probe points.
+//   - §4.5 (Figure 5): medians and quantiles for the login-distance
+//     radii.
+//   - Summary/Histogram: descriptive helpers the report tables and
+//     ablation benchmarks print.
+//
+// The package is deliberately simulator-agnostic: it sees plain
+// float64 samples and counters, never experiment types.
+package stats

@@ -1,0 +1,104 @@
+package stats
+
+import "fmt"
+
+// ProbeSketch is a mergeable CDF sketch: it counts how many observed
+// values fall at or below each of a fixed grid of probe points. The
+// report figures evaluate their CDFs only at fixed probes (Figures 1
+// and 3 print P(x<=p) for a handful of p), so a sketch of counters is
+// enough to reproduce those series exactly — P(x<=p) from the sketch
+// equals ECDF.At(p) over the same sample, bit for bit — while staying
+// O(probes) in memory and O(1) to merge, which is what lets every
+// shard aggregate its own accesses and the merge stay O(shards)
+// instead of O(records).
+type ProbeSketch struct {
+	probes []float64 // strictly increasing
+	le     []int     // le[i] = #values v with v <= probes[i]
+	n      int
+}
+
+// NewProbeSketch builds an empty sketch over the given probe grid.
+// Probes must be strictly increasing and non-empty; otherwise it
+// panics (a sketch with no probes cannot render any figure).
+func NewProbeSketch(probes []float64) *ProbeSketch {
+	if len(probes) == 0 {
+		panic("stats: NewProbeSketch needs at least one probe")
+	}
+	for i := 1; i < len(probes); i++ {
+		if probes[i] <= probes[i-1] {
+			panic("stats: probe grid must be strictly increasing")
+		}
+	}
+	p := make([]float64, len(probes))
+	copy(p, probes)
+	return &ProbeSketch{probes: p, le: make([]int, len(p))}
+}
+
+// Add folds one value into the sketch.
+func (s *ProbeSketch) Add(v float64) {
+	s.n++
+	// Probe grids are tiny (<=10 entries in every figure); a linear
+	// scan beats binary search and allocates nothing.
+	for i := len(s.probes) - 1; i >= 0; i-- {
+		if v > s.probes[i] {
+			break
+		}
+		s.le[i]++
+	}
+}
+
+// Merge folds another sketch into s. Both sketches must share the same
+// probe grid; Merge returns an error otherwise so shard-mismatch bugs
+// surface instead of silently corrupting counts.
+func (s *ProbeSketch) Merge(o *ProbeSketch) error {
+	if o == nil {
+		return nil
+	}
+	if len(o.probes) != len(s.probes) {
+		return fmt.Errorf("stats: merging sketches with %d and %d probes", len(s.probes), len(o.probes))
+	}
+	for i := range s.probes {
+		if s.probes[i] != o.probes[i] {
+			return fmt.Errorf("stats: merging sketches with different probe grids (%g vs %g at %d)",
+				s.probes[i], o.probes[i], i)
+		}
+	}
+	for i := range s.le {
+		s.le[i] += o.le[i]
+	}
+	s.n += o.n
+	return nil
+}
+
+// N returns the number of values folded in.
+func (s *ProbeSketch) N() int { return s.n }
+
+// Probes returns the probe grid (callers must not mutate it).
+func (s *ProbeSketch) Probes() []float64 { return s.probes }
+
+// Frac returns P(X <= Probes[i]) — identical to ECDF.At(Probes[i])
+// over the same sample, because both compute count/n on the same
+// integers.
+func (s *ProbeSketch) Frac(i int) float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return float64(s.le[i]) / float64(s.n)
+}
+
+// Points returns the sketch as CDF points on the probe grid.
+func (s *ProbeSketch) Points() []CDFPoint {
+	out := make([]CDFPoint, len(s.probes))
+	for i, p := range s.probes {
+		out[i] = CDFPoint{X: p, P: s.Frac(i)}
+	}
+	return out
+}
+
+// Clone returns a deep copy (merging must not alias shard state).
+func (s *ProbeSketch) Clone() *ProbeSketch {
+	c := NewProbeSketch(s.probes)
+	copy(c.le, s.le)
+	c.n = s.n
+	return c
+}

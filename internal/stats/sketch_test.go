@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"testing"
+)
+
+// The sketch's whole reason to exist: Frac at every probe equals
+// ECDF.At over the same sample, exactly.
+func TestProbeSketchMatchesECDF(t *testing.T) {
+	probes := []float64{0.1, 1, 5, 24}
+	sample := []float64{0.05, 0.1, 0.3, 1.0, 1.0, 4.9, 5.0, 100}
+	sk := NewProbeSketch(probes)
+	for _, v := range sample {
+		sk.Add(v)
+	}
+	e := NewECDF(sample)
+	if sk.N() != e.N() {
+		t.Fatalf("n = %d, want %d", sk.N(), e.N())
+	}
+	for i, p := range probes {
+		if got, want := sk.Frac(i), e.At(p); got != want {
+			t.Fatalf("Frac(%g) = %v, want %v", p, got, want)
+		}
+	}
+	pts := sk.Points()
+	for i, p := range e.Sample(probes) {
+		if pts[i] != p {
+			t.Fatalf("Points[%d] = %+v, want %+v", i, pts[i], p)
+		}
+	}
+}
+
+// Merging two sketches equals sketching the concatenated sample.
+func TestProbeSketchMerge(t *testing.T) {
+	probes := []float64{1, 10}
+	a := NewProbeSketch(probes)
+	b := NewProbeSketch(probes)
+	whole := NewProbeSketch(probes)
+	for i, v := range []float64{0.5, 2, 3, 15, 0.9, 10} {
+		whole.Add(v)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != whole.N() {
+		t.Fatalf("merged n = %d, want %d", a.N(), whole.N())
+	}
+	for i := range probes {
+		if a.Frac(i) != whole.Frac(i) {
+			t.Fatalf("probe %d: merged %v vs whole %v", i, a.Frac(i), whole.Frac(i))
+		}
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatalf("merging nil: %v", err)
+	}
+	if err := a.Merge(NewProbeSketch([]float64{2, 20})); err == nil {
+		t.Fatal("merging different grids succeeded")
+	}
+	if err := a.Merge(NewProbeSketch([]float64{1})); err == nil {
+		t.Fatal("merging different grid sizes succeeded")
+	}
+}
+
+func TestProbeSketchEmptyAndClone(t *testing.T) {
+	sk := NewProbeSketch([]float64{1})
+	if sk.N() != 0 || sk.Frac(0) != 0 {
+		t.Fatalf("empty sketch n=%d frac=%v", sk.N(), sk.Frac(0))
+	}
+	sk.Add(0.5)
+	c := sk.Clone()
+	c.Add(2)
+	if sk.N() != 1 || c.N() != 2 {
+		t.Fatalf("clone aliases: %d %d", sk.N(), c.N())
+	}
+}
+
+func TestProbeSketchValidation(t *testing.T) {
+	for name, probes := range map[string][]float64{
+		"empty":          {},
+		"non-increasing": {1, 1},
+		"descending":     {2, 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s grid did not panic", name)
+				}
+			}()
+			NewProbeSketch(probes)
+		}()
+	}
+}

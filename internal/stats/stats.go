@@ -1,6 +1,3 @@
-// Package stats provides the small statistical toolkit the paper's
-// figures are built from: empirical CDFs (Figures 1 and 3), medians
-// and quantiles (Figure 5 radii), and summary helpers.
 package stats
 
 import (

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Fails if any package under internal/ or cmd/ lacks a package
+# comment ("// Package <x> ..." for libraries, "// Command <x> ..."
+# for binaries). Every package must document which part of the paper
+# it reproduces; see the doc.go convention in ARCHITECTURE.md.
+set -u
+fail=0
+for dir in internal/*/ cmd/*/; do
+	# Skip directories with no Go files (defensive; none today).
+	ls "$dir"*.go >/dev/null 2>&1 || continue
+	if ! grep -l '^// \(Package\|Command\) ' "$dir"*.go >/dev/null 2>&1; then
+		echo "missing package comment: $dir" >&2
+		fail=1
+	fi
+done
+if [ "$fail" -ne 0 ]; then
+	echo "add a doc.go with a '// Package <name> ...' comment mapping the package to the paper section it reproduces" >&2
+fi
+exit "$fail"
