@@ -426,23 +426,58 @@ func BenchmarkAttackerSession(b *testing.B) {
 	}
 }
 
+// BenchmarkMonitorScrape measures the scrape tick over 100 tracked
+// accounts in the three regimes dirty tracking distinguishes: all
+// accounts quiet (the version gate skips everything — the fleet-scale
+// steady state), one account active per tick (one login+delta, 99
+// skips), and the gate disabled (the legacy login-everyone shape).
 func BenchmarkMonitorScrape(b *testing.B) {
-	clock := simtime.NewClock(time.Date(2015, 6, 25, 0, 0, 0, 0, time.UTC))
-	sched := simtime.NewScheduler(clock)
-	svc := webmail.NewService(webmail.Config{Clock: clock})
-	space := netsim.NewAddressSpace(rng.New(1), geo.Default())
-	store := monitor.NewStore()
-	monEP, _ := space.FromCity("London")
-	mon := monitor.New(monitor.Config{Service: svc, Scheduler: sched, Store: store, Endpoint: monEP})
-	for i := 0; i < 100; i++ {
-		addr := fmt.Sprintf("m%d@honeymail.example", i)
-		svc.CreateAccount(addr, "pw", "M")
-		mon.Track(addr, "pw")
+	setup := func(gateOff bool) (*simtime.Clock, *webmail.Service, *monitor.Monitor, netsim.Endpoint) {
+		clock := simtime.NewClock(time.Date(2015, 6, 25, 0, 0, 0, 0, time.UTC))
+		sched := simtime.NewScheduler(clock)
+		svc := webmail.NewService(webmail.Config{Clock: clock})
+		space := netsim.NewAddressSpace(rng.New(1), geo.Default())
+		store := monitor.NewStore()
+		monEP, _ := space.FromCity("London")
+		mon := monitor.New(monitor.Config{
+			Service: svc, Scheduler: sched, Store: store, Endpoint: monEP,
+			DisableVersionGate: gateOff,
+		})
+		for i := 0; i < 100; i++ {
+			addr := fmt.Sprintf("m%d@honeymail.example", i)
+			svc.CreateAccount(addr, "pw", "M")
+			mon.Track(addr, "pw")
+		}
+		ep, _ := space.FromCity("Paris")
+		return clock, svc, mon, ep
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	b.Run("quiet", func(b *testing.B) {
+		clock, _, mon, _ := setup(false)
+		mon.ScrapeAll(clock.Now()) // settle cursors
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mon.ScrapeAll(clock.Now())
+		}
+	})
+	b.Run("one-active", func(b *testing.B) {
+		clock, svc, mon, ep := setup(false)
 		mon.ScrapeAll(clock.Now())
-	}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			addr := fmt.Sprintf("m%d@honeymail.example", i%100)
+			if _, err := svc.Login(addr, "pw", svc.NewCookie(), ep); err != nil {
+				b.Fatal(err)
+			}
+			mon.ScrapeAll(clock.Now())
+		}
+	})
+	b.Run("ungated", func(b *testing.B) {
+		clock, _, mon, _ := setup(true)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mon.ScrapeAll(clock.Now())
+		}
+	})
 }
 
 // ---------------------------------------------------------------------------
@@ -454,11 +489,16 @@ func BenchmarkMonitorScrape(b *testing.B) {
 // classifies its accesses as simulated time advances and the final
 // analysis step merges one aggregate per shard — O(shards) — instead
 // of merging, sorting and classifying every access record (the PR 1
-// shape this benchmark's 32.70s shards=4/scale=10 baseline measured).
-// The reported numbers are identical at every shard count — only
-// wall-clock time changes. Run with:
+// shape measured 32.70s at shards=4/scale=10; PR 2's streaming
+// pipeline cut that to 23.22s; PR 3's dirty tracking — version-gated
+// scraping plus the trigger wheel that collapses per-account scan
+// events into one heap event per tick — brought it to ~3.1s on the
+// same 1-core container). The reported numbers are identical at every
+// shard count — only wall-clock time changes. Run with:
 //
 //	go test -bench BenchmarkShardedRun -benchtime 1x
+//
+// scripts/bench_snapshot.sh records the trajectory into BENCH_PR3.json.
 func benchShardedRun(b *testing.B, shards, scale int) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {

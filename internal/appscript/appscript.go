@@ -117,6 +117,7 @@ func (o Options) withDefaults() Options {
 type script struct {
 	account string
 	opts    Options
+	probe   webmail.VersionProbe
 
 	stopScan    func()
 	stopBeat    func()
@@ -132,6 +133,7 @@ type Runtime struct {
 	mu      sync.Mutex
 	svc     *webmail.Service
 	sched   *simtime.Scheduler
+	wheel   *simtime.TriggerWheel
 	sink    Notifier
 	scripts map[string]*script
 
@@ -139,7 +141,10 @@ type Runtime struct {
 }
 
 // NewRuntime wires the script engine to a platform and scheduler.
-// Notifications go to sink.
+// Notifications go to sink. Triggers are batched on a trigger wheel:
+// every script installed on the same cadence shares one scheduler
+// event per tick instead of owning its own, so a fleet of N accounts
+// costs O(1) heap operations per scan tick, not O(N).
 func NewRuntime(svc *webmail.Service, sched *simtime.Scheduler, sink Notifier) *Runtime {
 	if svc == nil || sched == nil || sink == nil {
 		panic("appscript: NewRuntime requires service, scheduler and notifier")
@@ -153,10 +158,40 @@ func NewRuntime(svc *webmail.Service, sched *simtime.Scheduler, sink Notifier) *
 	}
 }
 
+// UseWheel rebinds the runtime's triggers onto a shared wheel (one per
+// shard scheduler in the honeynet, so the runtime and the monitor pool
+// their event chains). The wheel must drive the runtime's scheduler.
+// Must be called before the first Install — installed scripts cannot
+// be moved between wheels, so a late rebind panics instead of
+// silently splitting the trigger chains.
+func (r *Runtime) UseWheel(w *simtime.TriggerWheel) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.scripts) > 0 {
+		panic("appscript: UseWheel after Install would strand existing triggers")
+	}
+	if w != nil {
+		r.wheel = w
+	}
+}
+
+// wheelLocked returns the runtime's wheel, creating a private one on
+// first use when no shared wheel was bound. Callers hold r.mu.
+func (r *Runtime) wheelLocked() *simtime.TriggerWheel {
+	if r.wheel == nil {
+		r.wheel = simtime.NewTriggerWheel(r.sched)
+	}
+	return r.wheel
+}
+
 // Install attaches a script to an account and starts its triggers.
 // Installing over an existing script replaces it.
 func (r *Runtime) Install(account string, opts Options) error {
 	snap, err := r.svc.Snapshot(account)
+	if err != nil {
+		return fmt.Errorf("appscript: install on %s: %w", account, err)
+	}
+	probe, err := r.svc.Probe(account)
 	if err != nil {
 		return fmt.Errorf("appscript: install on %s: %w", account, err)
 	}
@@ -166,11 +201,12 @@ func (r *Runtime) Install(account string, opts Options) error {
 		old.stopScan()
 		old.stopBeat()
 	}
-	sc := &script{account: account, opts: opts.withDefaults(), lastSnap: snap}
-	sc.stopScan = r.sched.Every(sc.opts.ScanInterval, "appscript-scan:"+account, func(now time.Time) {
+	sc := &script{account: account, opts: opts.withDefaults(), probe: probe, lastSnap: snap}
+	wheel := r.wheelLocked()
+	sc.stopScan = wheel.Every(sc.opts.ScanInterval, "appscript-scan", func(now time.Time) {
 		r.scan(sc, now)
 	})
-	sc.stopBeat = r.sched.Every(sc.opts.HeartbeatInterval, "appscript-heartbeat:"+account, func(now time.Time) {
+	sc.stopBeat = wheel.Every(sc.opts.HeartbeatInterval, "appscript-heartbeat", func(now time.Time) {
 		r.heartbeat(sc, now)
 	})
 	r.scripts[account] = sc
@@ -215,8 +251,8 @@ func (r *Runtime) Discoverable(account string) bool {
 
 // scan diffs the mailbox against the previous snapshot and reports
 // changes, mirroring the paper's 10-minute scan function. Quiet
-// accounts are skipped via a cheap version check so months of idle
-// scans cost almost nothing.
+// accounts are skipped via a lock-free version probe so months of
+// idle scans cost one atomic load each.
 func (r *Runtime) scan(sc *script, now time.Time) {
 	r.mu.Lock()
 	if sc.deleted {
@@ -227,7 +263,7 @@ func (r *Runtime) scan(sc *script, now time.Time) {
 	lastVersion := sc.lastVersion
 	r.mu.Unlock()
 
-	version := r.svc.Version(sc.account)
+	version := sc.probe.MailboxVersion()
 	if version == lastVersion && (sc.opts.QuotaScans <= 0 || sc.quotaSent) {
 		return
 	}

@@ -65,6 +65,13 @@ type Config struct {
 	// path is available. For a fixed seed both paths render
 	// byte-identical reports.
 	DisableStreaming bool
+	// DisableDirtyTracking turns off the monitor's version-gated
+	// scraper: every scrape tick then logs into every tracked account
+	// and copies the full activity page, whether or not anything
+	// changed (the pre-dirty-tracking behaviour). The observed dataset
+	// and every report are identical either way; the flag exists as an
+	// escape hatch and to measure what dirty tracking saves.
+	DisableDirtyTracking bool
 }
 
 func (c Config) withDefaults() Config {

@@ -183,6 +183,29 @@ func TestShardedLifecycleGuards(t *testing.T) {
 	}
 }
 
+// TestDirtyTrackingInvariance is the dirty-tracking contract at the
+// experiment level: the version-gated scraper (skip quiet accounts,
+// pull row deltas) and the scrape-everything escape hatch produce the
+// identical merged dataset — the gate only skips work that would have
+// produced no observation, never an observation itself.
+func TestDirtyTrackingInvariance(t *testing.T) {
+	cfg := fastConfig(42)
+	cfg.Shards = 2
+	run := func(disable bool) *analysis.Dataset {
+		c := cfg
+		c.DisableDirtyTracking = disable
+		e, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Dataset()
+	}
+	datasetsIdentical(t, "dirty-tracking on vs off", run(false), run(true))
+}
+
 // TestDistinctAttackersNeverShareIPs guards the per-block address
 // tenancy: two different criminals (cookies) must never be observed
 // from the same IP, or IP-keyed analyses (unique-IP counts, the

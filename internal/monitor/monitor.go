@@ -53,6 +53,10 @@ type Sink interface {
 type Store struct {
 	mu            sync.Mutex
 	notifications []appscript.Notification
+	// byAccount indexes notifications by account (positions in the
+	// notifications slice), maintained at Notify time so per-account
+	// lookups never scan the whole fleet's feed.
+	byAccount     map[string][]int
 	accesses      map[string]map[string]webmail.Access // account -> cookie -> latest row
 	failures      []ScrapeFailure
 	failed        map[string]bool // account -> scraper locked out
@@ -78,6 +82,7 @@ func (s *Store) Sink() Sink {
 // NewStore returns an empty store.
 func NewStore() *Store {
 	return &Store{
+		byAccount:     make(map[string][]int),
 		accesses:      make(map[string]map[string]webmail.Access),
 		failed:        make(map[string]bool),
 		lastHeartbeat: make(map[string]time.Time),
@@ -87,6 +92,7 @@ func NewStore() *Store {
 // Notify implements appscript.Notifier.
 func (s *Store) Notify(n appscript.Notification) {
 	s.mu.Lock()
+	s.byAccount[n.Account] = append(s.byAccount[n.Account], len(s.notifications))
 	s.notifications = append(s.notifications, n)
 	if n.Kind == appscript.NoteHeartbeat {
 		s.lastHeartbeat[n.Account] = n.Time
@@ -107,15 +113,19 @@ func (s *Store) Notifications() []appscript.Notification {
 	return out
 }
 
-// NotificationsFor returns the notifications for one account.
+// NotificationsFor returns the notifications for one account, in
+// arrival order. The per-account index makes this O(matches) instead
+// of a linear scan over every account's notifications.
 func (s *Store) NotificationsFor(account string) []appscript.Notification {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var out []appscript.Notification
-	for _, n := range s.notifications {
-		if n.Account == account {
-			out = append(out, n)
-		}
+	idx := s.byAccount[account]
+	if len(idx) == 0 {
+		return nil
+	}
+	out := make([]appscript.Notification, len(idx))
+	for i, j := range idx {
+		out[i] = s.notifications[j]
 	}
 	return out
 }
@@ -176,12 +186,31 @@ func (s *Store) LastHeartbeat(account string) (time.Time, bool) {
 	return t, ok
 }
 
+// tracked is the monitor's per-account scraping state. Its mutable
+// fields (lastSeen, failed) are touched only from scrape ticks, which
+// the owning scheduler serializes.
+type tracked struct {
+	account  string
+	password string
+	cookie   string // the scraper's own browser cookie
+	// probe answers "did anything scraper-visible change?" with one
+	// atomic load — the version gate that lets a quiet account cost
+	// ~zero per scrape tick.
+	probe webmail.VersionProbe
+	// lastSeen is the account accessVersion after our previous scrape
+	// (our own login included, so a quiet account compares equal on
+	// the next tick). It doubles as the ActivityPageSince cursor.
+	lastSeen uint64
+	failed   bool // scraper locked out; mirrors Store.failed
+}
+
 // Monitor drives the activity-page scraping. It holds the original
 // credentials of every honey account (a hijack makes them stale, which
 // is exactly the visibility loss the paper describes).
 type Monitor struct {
 	svc   *webmail.Service
 	sched *simtime.Scheduler
+	wheel *simtime.TriggerWheel
 	store *Store
 
 	// SelfCity is where the monitoring infrastructure runs; §4.1
@@ -189,10 +218,12 @@ type Monitor struct {
 	selfCity string
 	endpoint netsim.Endpoint
 	jar      *netsim.CookieJar // nil -> use the platform's jar
+	gateOff  bool              // Config.DisableVersionGate
 
 	mu      sync.Mutex
-	creds   map[string]string // account -> password as leaked
-	cookies map[string]string // account -> monitor's own cookie
+	tracked map[string]*tracked
+	order   []*tracked // sorted by account; rebuilt after Track
+	stale   bool       // order needs a rebuild
 	stop    func()
 }
 
@@ -209,6 +240,17 @@ type Config struct {
 	// values are independent of cross-shard interleaving; nil falls
 	// back to the platform's jar.
 	Cookies *netsim.CookieJar
+	// Wheel, when set, batches the periodic scrape onto a shared
+	// trigger wheel (the honeynet passes each shard's wheel so the
+	// scraper and the Apps-Script runtime pool scheduler events); nil
+	// gives the monitor a private wheel on its scheduler.
+	Wheel *simtime.TriggerWheel
+	// DisableVersionGate restores the pre-dirty-tracking behaviour:
+	// every scrape tick logs into every tracked account and copies the
+	// full activity page, changed or not. The observed dataset is
+	// identical either way; the flag exists to quantify the
+	// optimisation and as an escape hatch.
+	DisableVersionGate bool
 }
 
 // New builds a Monitor.
@@ -216,15 +258,20 @@ func New(cfg Config) *Monitor {
 	if cfg.Service == nil || cfg.Scheduler == nil || cfg.Store == nil {
 		panic("monitor: Service, Scheduler and Store are required")
 	}
+	wheel := cfg.Wheel
+	if wheel == nil {
+		wheel = simtime.NewTriggerWheel(cfg.Scheduler)
+	}
 	return &Monitor{
 		svc:      cfg.Service,
 		sched:    cfg.Scheduler,
+		wheel:    wheel,
 		store:    cfg.Store,
 		selfCity: cfg.Endpoint.City,
 		endpoint: cfg.Endpoint,
 		jar:      cfg.Cookies,
-		creds:    make(map[string]string),
-		cookies:  make(map[string]string),
+		gateOff:  cfg.DisableVersionGate,
+		tracked:  make(map[string]*tracked),
 	}
 }
 
@@ -234,14 +281,20 @@ func (m *Monitor) Store() *Store { return m.store }
 // Track registers a honey account and the password that was leaked
 // for it.
 func (m *Monitor) Track(account, password string) {
+	t := &tracked{account: account, password: password}
+	if m.jar != nil {
+		t.cookie = m.jar.Issue()
+	} else {
+		t.cookie = m.svc.NewCookie()
+	}
+	// An invalid probe (account not on the platform yet) disables the
+	// gate for this account; every tick then attempts the login and
+	// records the failure, as the ungated scraper did.
+	t.probe, _ = m.svc.Probe(account)
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.creds[account] = password
-	if m.jar != nil {
-		m.cookies[account] = m.jar.Issue()
-	} else {
-		m.cookies[account] = m.svc.NewCookie()
-	}
+	m.tracked[account] = t
+	m.stale = true // invalidate the cached scrape order
 }
 
 // MonitorCookies returns the scraper's own cookies (used by the
@@ -249,9 +302,9 @@ func (m *Monitor) Track(account, password string) {
 func (m *Monitor) MonitorCookies() map[string]bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	out := make(map[string]bool, len(m.cookies))
-	for _, c := range m.cookies {
-		out[c] = true
+	out := make(map[string]bool, len(m.tracked))
+	for _, t := range m.tracked {
+		out[t.cookie] = true
 	}
 	return out
 }
@@ -259,7 +312,7 @@ func (m *Monitor) MonitorCookies() map[string]bool {
 // Start begins periodic scraping at the given interval; call the
 // returned stop function (or Stop) to end it.
 func (m *Monitor) Start(interval time.Duration) func() {
-	stop := m.sched.Every(interval, "monitor-scrape", func(now time.Time) {
+	stop := m.wheel.Every(interval, "monitor-scrape", func(now time.Time) {
 		m.ScrapeAll(now)
 	})
 	m.mu.Lock()
@@ -279,49 +332,70 @@ func (m *Monitor) Stop() {
 	}
 }
 
-// ScrapeAll scrapes every tracked account once.
+// ScrapeAll scrapes every tracked account once. The sorted account
+// order is cached and only rebuilt after Track registers a new
+// account, so steady-state ticks pay no per-tick sort.
 func (m *Monitor) ScrapeAll(now time.Time) {
 	m.mu.Lock()
-	accounts := make([]string, 0, len(m.creds))
-	for a := range m.creds {
-		accounts = append(accounts, a)
+	if m.stale {
+		m.order = m.order[:0]
+		for _, t := range m.tracked {
+			m.order = append(m.order, t)
+		}
+		sort.Slice(m.order, func(i, j int) bool { return m.order[i].account < m.order[j].account })
+		m.stale = false
 	}
+	order := m.order
 	m.mu.Unlock()
-	sort.Strings(accounts)
-	for _, a := range accounts {
-		m.scrapeOne(a, now)
+	for _, t := range order {
+		m.scrapeOne(t, now)
 	}
 }
 
-// scrapeOne logs in with the monitor's credentials and dumps the
-// activity page.
-func (m *Monitor) scrapeOne(account string, now time.Time) {
-	m.mu.Lock()
-	password := m.creds[account]
-	cookie := m.cookies[account]
-	alreadyFailed := m.store.failed[account]
-	m.mu.Unlock()
-	if alreadyFailed {
+// scrapeOne logs in with the monitor's credentials and pulls the
+// activity-page rows changed since the previous scrape. The version
+// gate makes a quiet account cost one atomic load: when nothing
+// scraper-visible changed since our last visit (lastSeen includes the
+// bump from our own login), the Login+ActivityPage round trip — and
+// its EventLogin journal noise — is skipped entirely. Password changes
+// and suspensions bump the access version, so the gate opens and the
+// failed login is recorded on the first tick after the event, exactly
+// as the ungated scraper would.
+func (m *Monitor) scrapeOne(t *tracked, now time.Time) {
+	if t.failed {
 		return
 	}
-	session, err := m.svc.Login(account, password, cookie, m.endpoint)
+	if !m.gateOff && t.probe.Valid() && t.probe.AccessVersion() == t.lastSeen {
+		return
+	}
+	session, err := m.svc.Login(t.account, t.password, t.cookie, m.endpoint)
 	if err != nil {
+		t.failed = true
 		switch err {
 		case webmail.ErrBadPassword:
-			m.store.recordFailure(account, "password-changed", now)
+			m.store.recordFailure(t.account, "password-changed", now)
 		case webmail.ErrSuspended:
-			m.store.recordFailure(account, "suspended", now)
+			m.store.recordFailure(t.account, "suspended", now)
 		default:
-			m.store.recordFailure(account, fmt.Sprintf("error: %v", err), now)
+			m.store.recordFailure(t.account, fmt.Sprintf("error: %v", err), now)
 		}
 		return
 	}
-	rows, err := session.ActivityPage()
+	// Pull only the rows changed since the last scrape. With the gate
+	// disabled the cursor resets to 0 each tick, restoring the legacy
+	// full-page copy (recordAccesses re-diffs it below either way).
+	cursor := t.lastSeen
+	if m.gateOff {
+		cursor = 0
+	}
+	rows, version, err := session.ActivityPageSince(cursor)
 	if err != nil {
-		m.store.recordFailure(account, fmt.Sprintf("scrape: %v", err), now)
+		t.failed = true
+		m.store.recordFailure(t.account, fmt.Sprintf("scrape: %v", err), now)
 		return
 	}
-	changed := m.store.recordAccesses(account, rows)
+	t.lastSeen = version
+	changed := m.store.recordAccesses(t.account, rows)
 	sink := m.store.Sink()
 	if sink == nil {
 		return
@@ -331,13 +405,13 @@ func (m *Monitor) scrapeOne(account string, now time.Time) {
 	// monitor's cookie for this account is the only one of its cookies
 	// that can appear on this account's activity page.
 	for _, r := range changed {
-		if r.Cookie == cookie {
+		if r.Cookie == t.cookie {
 			continue
 		}
 		if m.selfCity != "" && r.City == m.selfCity {
 			continue
 		}
-		sink.ObserveAccess(AccessRecord{Account: account, Access: r})
+		sink.ObserveAccess(AccessRecord{Account: t.account, Access: r})
 	}
 }
 

@@ -1,0 +1,236 @@
+package simtime
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newWheelFixture() (*Clock, *Scheduler, *TriggerWheel) {
+	clock := NewClock(time.Date(2015, 6, 25, 0, 0, 0, 0, time.UTC))
+	sched := NewScheduler(clock)
+	return clock, sched, NewTriggerWheel(sched)
+}
+
+// Callbacks registered at the same instant on the same cadence share
+// one bucket, fire in registration order, and first fire one interval
+// after registration — Every semantics, O(1) heap events per tick.
+func TestWheelBatchesSameCadence(t *testing.T) {
+	_, sched, w := newWheelFixture()
+	var fired []string
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		w.Every(10*time.Minute, "scan", func(time.Time) {
+			fired = append(fired, name)
+		})
+	}
+	if got := w.Buckets(); got != 1 {
+		t.Fatalf("buckets = %d, want 1 (shared cadence)", got)
+	}
+	if got := sched.Len(); got != 1 {
+		t.Fatalf("pending events = %d, want 1 (one chain for 3 callbacks)", got)
+	}
+	sched.RunFor(10 * time.Minute)
+	if fmt.Sprint(fired) != "[a b c]" {
+		t.Fatalf("first tick fired %v, want registration order [a b c]", fired)
+	}
+	sched.RunFor(20 * time.Minute)
+	if len(fired) != 9 {
+		t.Fatalf("after 3 ticks fired %d callbacks, want 9", len(fired))
+	}
+}
+
+// The first fire lands exactly one interval after registration, never
+// earlier: a mid-cycle registrant gets its own phase bucket instead of
+// joining an existing lattice.
+func TestWheelMidCycleRegistrationKeepsPhase(t *testing.T) {
+	_, sched, w := newWheelFixture()
+	var early, late []time.Time
+	w.Every(10*time.Minute, "early", func(now time.Time) { early = append(early, now) })
+	sched.RunFor(4 * time.Minute) // advance off the lattice
+	w.Every(10*time.Minute, "late", func(now time.Time) { late = append(late, now) })
+	if got := w.Buckets(); got != 2 {
+		t.Fatalf("buckets = %d, want 2 (different phases)", got)
+	}
+	sched.RunFor(30 * time.Minute)
+	if len(early) != 3 || len(late) != 3 {
+		t.Fatalf("fired %d/%d, want 3/3", len(early), len(late))
+	}
+	base := time.Date(2015, 6, 25, 0, 0, 0, 0, time.UTC)
+	if !late[0].Equal(base.Add(14 * time.Minute)) {
+		t.Fatalf("late first fired at %v, want t+interval = %v", late[0], base.Add(14*time.Minute))
+	}
+	if !early[0].Equal(base.Add(10 * time.Minute)) {
+		t.Fatalf("early first fired at %v", early[0])
+	}
+}
+
+// A callback registered at the exact instant an existing bucket's
+// tick is due — from inside that very tick — still waits one full
+// interval before its first fire, exactly like Scheduler.Every.
+func TestWheelOnLatticeRegistrationWaitsFullInterval(t *testing.T) {
+	base := time.Date(2015, 6, 25, 0, 0, 0, 0, time.UTC)
+	_, sched, w := newWheelFixture()
+	var late []time.Time
+	registered := false
+	w.Every(10*time.Minute, "host", func(now time.Time) {
+		if !registered && now.Equal(base.Add(20*time.Minute)) {
+			registered = true
+			// Same interval, and the clock sits exactly on the host
+			// bucket's lattice: the registrant joins this bucket but
+			// must not fire until t+interval.
+			w.Every(10*time.Minute, "late", func(now time.Time) { late = append(late, now) })
+		}
+	})
+	sched.RunFor(40 * time.Minute)
+	if w.Buckets() != 1 {
+		t.Fatalf("buckets = %d, want 1 (on-lattice registrant shares the bucket)", w.Buckets())
+	}
+	if len(late) != 2 {
+		t.Fatalf("late fired %d times, want 2 (at 30m and 40m)", len(late))
+	}
+	if !late[0].Equal(base.Add(30 * time.Minute)) {
+		t.Fatalf("late first fired at %v, want one full interval after registration (%v)",
+			late[0], base.Add(30*time.Minute))
+	}
+}
+
+// Stopping an entry stops only that entry; stopping the last entry
+// retires the bucket and its event chain.
+func TestWheelStopRemovesEntryThenBucket(t *testing.T) {
+	_, sched, w := newWheelFixture()
+	var a, b int
+	stopA := w.Every(time.Minute, "a", func(time.Time) { a++ })
+	stopB := w.Every(time.Minute, "b", func(time.Time) { b++ })
+	sched.RunFor(2 * time.Minute)
+	stopA()
+	stopA() // idempotent
+	sched.RunFor(2 * time.Minute)
+	if a != 2 || b != 4 {
+		t.Fatalf("a=%d b=%d, want 2/4", a, b)
+	}
+	if w.Buckets() != 1 {
+		t.Fatalf("buckets = %d, want 1", w.Buckets())
+	}
+	stopB()
+	if w.Buckets() != 0 {
+		t.Fatalf("buckets after last stop = %d, want 0", w.Buckets())
+	}
+	sched.RunFor(5 * time.Minute)
+	if b != 4 {
+		t.Fatalf("stopped bucket still fired: b=%d", b)
+	}
+}
+
+// A callback cancelled by an earlier callback in the same tick is
+// skipped; a callback may also cancel itself without deadlocking.
+func TestWheelCancelDuringTick(t *testing.T) {
+	_, sched, w := newWheelFixture()
+	var stopOther, stopSelf func()
+	other := 0
+	w.Every(time.Minute, "killer", func(time.Time) {
+		if stopOther != nil {
+			stopOther()
+			stopOther = nil
+		}
+	})
+	stopOther = w.Every(time.Minute, "victim", func(time.Time) { other++ })
+	self := 0
+	stopSelf = w.Every(time.Minute, "self", func(time.Time) {
+		self++
+		stopSelf()
+	})
+	sched.RunFor(3 * time.Minute)
+	if other != 0 {
+		t.Fatalf("cancelled-in-tick callback fired %d times", other)
+	}
+	if self != 1 {
+		t.Fatalf("self-cancelling callback fired %d times, want 1", self)
+	}
+}
+
+// Different cadences never share a bucket, and each keeps exact Every
+// timing (heartbeats at 24h must not ride the 10-minute scan chain).
+func TestWheelSeparatesCadences(t *testing.T) {
+	_, sched, w := newWheelFixture()
+	scans, beats := 0, 0
+	w.Every(10*time.Minute, "scan", func(time.Time) { scans++ })
+	w.Every(24*time.Hour, "beat", func(time.Time) { beats++ })
+	if w.Buckets() != 2 {
+		t.Fatalf("buckets = %d, want 2", w.Buckets())
+	}
+	sched.RunFor(48 * time.Hour)
+	if scans != 288 || beats != 2 {
+		t.Fatalf("scans=%d beats=%d, want 288/2", scans, beats)
+	}
+}
+
+// Re-registering after the bucket died restarts a fresh chain (the
+// appscript reinstall pattern).
+func TestWheelReuseAfterEmpty(t *testing.T) {
+	_, sched, w := newWheelFixture()
+	n := 0
+	stop := w.Every(time.Hour, "x", func(time.Time) { n++ })
+	stop()
+	w.Every(time.Hour, "y", func(time.Time) { n += 10 })
+	sched.RunFor(time.Hour)
+	if n != 10 {
+		t.Fatalf("n = %d, want 10 (only the new registration fires)", n)
+	}
+}
+
+// Heavy churn keeps the entry list compacted rather than accumulating
+// dead entries forever.
+func TestWheelCompaction(t *testing.T) {
+	_, sched, w := newWheelFixture()
+	keep := 0
+	w.Every(time.Minute, "keep", func(time.Time) { keep++ })
+	for i := 0; i < 1000; i++ {
+		stop := w.Every(time.Minute, "churn", func(time.Time) {})
+		stop()
+	}
+	b := func() *wheelBucket {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		for _, b := range w.buckets {
+			return b
+		}
+		return nil
+	}()
+	b.mu.Lock()
+	entries := len(b.entries)
+	b.mu.Unlock()
+	if entries > 10 {
+		t.Fatalf("bucket holds %d entries after churn, want compacted", entries)
+	}
+	sched.RunFor(time.Minute)
+	if keep != 1 {
+		t.Fatalf("survivor fired %d times, want 1", keep)
+	}
+}
+
+// Concurrent registration/cancellation is safe (the honeynet registers
+// from Setup while shard goroutines may drive other wheels; the race
+// detector is the real assertion here).
+func TestWheelConcurrentRegistration(t *testing.T) {
+	_, sched, w := newWheelFixture()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				stop := w.Every(time.Minute, "c", func(time.Time) {})
+				if j%2 == 0 {
+					stop()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	sched.RunFor(time.Minute)
+	if w.Buckets() != 1 {
+		t.Fatalf("buckets = %d", w.Buckets())
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/netsim"
@@ -28,17 +29,58 @@ type account struct {
 	sendFrom string
 
 	accesses map[string]*Access // by cookie
-	journal  []Event
+	// accessOrder holds the same rows sorted by (First, Cookie) — the
+	// activity page's display order. The clock is monotonic, so new
+	// rows insert at (or within a same-instant tie block near) the
+	// tail and ActivityPage never re-sorts.
+	accessOrder []*Access
+	journal     []Event
 
 	passwordChanges int
 	searchLog       []string
 
-	// version increments on every state change; pollers (the
+	// version increments on every mailbox state change; pollers (the
 	// Apps-Script scan trigger) use it to skip diffing quiet accounts.
-	version uint64
+	// Atomic so VersionProbe reads race-free without the partition
+	// lock; writes happen under it.
+	version atomic.Uint64
+
+	// accessVersion increments on every change an activity-page
+	// scraper could observe: a new or updated access row, a password
+	// change, a suspension. The monitor's version gate compares it
+	// against a per-account cursor to skip the Login+ActivityPage
+	// round trip on quiet accounts — password changes and suspensions
+	// bump it precisely so the gate never delays their detection.
+	accessVersion atomic.Uint64
 
 	homeLat, homeLon float64
 	homeKnown        bool
+}
+
+// bumpAccessLocked advances the scraper-visible change counter and
+// stamps the changed row (nil for row-less events: password change,
+// suspension). Callers hold the owning partition's lock.
+func (a *account) bumpAccessLocked(row *Access) {
+	v := a.accessVersion.Add(1)
+	if row != nil {
+		row.rev = v
+	}
+}
+
+// insertAccessLocked places a new row into accessOrder, keeping it
+// sorted by (First, Cookie). Time never moves backwards, so the row
+// belongs at the tail; only rows created at the same instant need a
+// few swaps to restore cookie order within the tie block.
+func (a *account) insertAccessLocked(row *Access) {
+	a.accessOrder = append(a.accessOrder, row)
+	for i := len(a.accessOrder) - 1; i > 0; i-- {
+		prev := a.accessOrder[i-1]
+		if prev.First.Before(row.First) ||
+			(prev.First.Equal(row.First) && prev.Cookie < row.Cookie) {
+			break
+		}
+		a.accessOrder[i-1], a.accessOrder[i] = a.accessOrder[i], a.accessOrder[i-1]
+	}
 }
 
 // partition is one shard of the account store: its own lock, its own
@@ -270,11 +312,13 @@ func (s *Service) Seed(address string, folder Folder, from, to, subject, body st
 	defer p.mu.Unlock()
 	id := a.nextID
 	a.nextID++
-	a.messages[id] = &Message{
+	m := &Message{
 		ID: id, Folder: folder, From: from, To: to,
 		Subject: subject, Body: body, Date: date,
 		Read: folder == FolderSent, // own sent mail is "read"
 	}
+	m.bake()
+	a.messages[id] = m
 	return id, nil
 }
 
@@ -317,9 +361,11 @@ func (s *Service) Login(address, password, cookie string, ep netsim.Endpoint) (*
 			UserAgent: ep.UserAgent, Browser: browser, Device: device,
 		}
 		a.accesses[cookie] = acc
+		a.insertAccessLocked(acc)
 	}
 	acc.Last = now
 	acc.Visits++
+	a.bumpAccessLocked(acc)
 	s.journalLocked(a, Event{Time: now, Kind: EventLogin, Account: address, Cookie: cookie, Detail: ep.Addr.String()})
 	return &Session{svc: s, part: p, account: address, cookie: cookie, passwordAt: a.passwordChanges}, nil
 }
@@ -371,6 +417,7 @@ func (s *Service) Suspend(address, reason string) error {
 	defer p.mu.Unlock()
 	if !a.suspended {
 		a.suspended = true
+		a.bumpAccessLocked(nil) // scraper-visible: the next login fails
 		s.journalLocked(a, Event{Time: p.now(), Kind: EventSuspend, Account: address, Detail: reason})
 	}
 	return nil
@@ -450,7 +497,7 @@ func (s *Service) journalLocked(a *account, e Event) {
 	a.journal = append(a.journal, e)
 	switch e.Kind {
 	case EventRead, EventStar, EventSend, EventDraftCreate, EventDraftUpdate:
-		a.version++
+		a.version.Add(1)
 	}
 	s.obsMu.RLock()
 	observers := s.observers
@@ -465,15 +512,56 @@ func (s *Service) journalLocked(a *account, e Event) {
 	}
 }
 
-// Version returns a counter that changes whenever the account's state
-// does. Unknown accounts report 0.
+// Version returns a counter that changes whenever the account's
+// mailbox state does. Unknown accounts report 0.
 func (s *Service) Version(address string) uint64 {
 	p, a, err := s.acquire(address)
 	if err != nil {
 		return 0
 	}
 	defer p.mu.Unlock()
-	return a.version
+	return a.version.Load()
+}
+
+// AccessVersion returns a counter that changes whenever anything an
+// activity-page scraper could observe does: a new or updated access
+// row, a password change, a suspension. Unknown accounts report 0.
+func (s *Service) AccessVersion(address string) uint64 {
+	p, a, err := s.acquire(address)
+	if err != nil {
+		return 0
+	}
+	defer p.mu.Unlock()
+	return a.accessVersion.Load()
+}
+
+// VersionProbe is a lock-free handle for polling one account's change
+// counters. Per-account pollers (the Apps-Script scan trigger, the
+// activity-page scraper's version gate) hold one so that deciding
+// "nothing changed — skip this account" costs a single atomic load
+// instead of an index lookup plus two lock round-trips per account per
+// tick. Accounts are never deleted, so a probe stays valid for the
+// life of the service. The zero value is invalid (Valid reports
+// false).
+type VersionProbe struct{ a *account }
+
+// Valid reports whether the probe is bound to an account.
+func (p VersionProbe) Valid() bool { return p.a != nil }
+
+// MailboxVersion mirrors Service.Version for the probed account.
+func (p VersionProbe) MailboxVersion() uint64 { return p.a.version.Load() }
+
+// AccessVersion mirrors Service.AccessVersion for the probed account.
+func (p VersionProbe) AccessVersion() uint64 { return p.a.accessVersion.Load() }
+
+// Probe returns a version probe for an account.
+func (s *Service) Probe(address string) (VersionProbe, error) {
+	p, a, err := s.acquire(address)
+	if err != nil {
+		return VersionProbe{}, err
+	}
+	defer p.mu.Unlock()
+	return VersionProbe{a: a}, nil
 }
 
 // account home-location fields (used only by the login-risk ablation).
@@ -537,11 +625,13 @@ func (s *Service) DeliverInbound(address, from, subject, body string) (MessageID
 	defer p.mu.Unlock()
 	id := a.nextID
 	a.nextID++
-	a.messages[id] = &Message{
+	m := &Message{
 		ID: id, Folder: FolderInbox, From: from, To: address,
 		Subject: subject, Body: body, Date: p.now(),
 	}
-	a.version++
+	m.bake()
+	a.messages[id] = m
+	a.version.Add(1)
 	return id, nil
 }
 
@@ -592,23 +682,18 @@ func (s *Service) Snapshot(address string) (Snapshot, error) {
 // page would display them, sorted by first access. Scraping requires
 // valid credentials: after a hijacker changes the password the monitor
 // can no longer call this (enforced by the monitor, which logs in
-// through the normal path).
+// through the normal path). Rows are kept insertion-sorted, so this is
+// a straight copy — no per-call sort.
 func (s *Service) ActivityPage(address string) ([]Access, error) {
 	p, a, err := s.acquire(address)
 	if err != nil {
 		return nil, err
 	}
 	defer p.mu.Unlock()
-	out := make([]Access, 0, len(a.accesses))
-	for _, acc := range a.accesses {
-		out = append(out, *acc)
+	out := make([]Access, len(a.accessOrder))
+	for i, acc := range a.accessOrder {
+		out[i] = *acc
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if !out[i].First.Equal(out[j].First) {
-			return out[i].First.Before(out[j].First)
-		}
-		return out[i].Cookie < out[j].Cookie
-	})
 	return out, nil
 }
 
@@ -632,15 +717,19 @@ func (a *account) messageLocked(id MessageID) (*Message, error) {
 	return m, nil
 }
 
-// matchQuery reports whether a message matches a search query: every
-// whitespace-separated term must appear (case-insensitively) in the
-// subject or body.
-func matchQuery(m *Message, query string) bool {
-	terms := strings.Fields(strings.ToLower(query))
+// matchTerms reports whether a message matches the pre-lowered terms
+// of a search query: every term must appear in the subject or body
+// (case-insensitively, via the haystack baked at create/edit time).
+func matchTerms(m *Message, terms []string) bool {
 	if len(terms) == 0 {
 		return false
 	}
-	hay := strings.ToLower(m.Subject + "\n" + m.Body)
+	hay := m.haystack
+	if hay == "" {
+		// Defensive: a message that skipped bake still searches
+		// correctly, just without the precompute.
+		hay = strings.ToLower(m.Subject + "\n" + m.Body)
+	}
 	for _, t := range terms {
 		if !strings.Contains(hay, t) {
 			return false

@@ -43,6 +43,8 @@ func (se *Session) touch() (*account, error) {
 		now := se.part.now()
 		if now.After(acc.Last) {
 			acc.Last = now
+			// tlast is on the activity page: a scraper can observe it.
+			a.bumpAccessLocked(acc)
 		}
 	}
 	return a, nil
@@ -132,9 +134,10 @@ func (se *Session) Search(query string) ([]Message, error) {
 		Time: se.part.now(), Kind: EventSearch,
 		Account: se.account, Cookie: se.cookie, Detail: q,
 	})
+	terms := strings.Fields(strings.ToLower(q))
 	var out []Message
 	for _, m := range a.messages {
-		if m.Folder != FolderTrash && matchQuery(m, q) {
+		if m.Folder != FolderTrash && matchTerms(m, terms) {
 			out = append(out, m.clone())
 		}
 	}
@@ -157,11 +160,13 @@ func (se *Session) CreateDraft(to, subject, body string) (MessageID, error) {
 	}
 	id := a.nextID
 	a.nextID++
-	a.messages[id] = &Message{
+	m := &Message{
 		ID: id, Folder: FolderDrafts, From: se.account, To: to,
 		Subject: subject, Body: body, Date: se.part.now(),
 		Read: true,
 	}
+	m.bake()
+	a.messages[id] = m
 	se.svc.journalLocked(a, Event{
 		Time: se.part.now(), Kind: EventDraftCreate,
 		Account: se.account, Cookie: se.cookie, Message: id,
@@ -185,6 +190,7 @@ func (se *Session) UpdateDraft(id MessageID, to, subject, body string) error {
 		return ErrNotADraft
 	}
 	m.To, m.Subject, m.Body = to, subject, body
+	m.bake()
 	m.Date = se.part.now()
 	se.svc.journalLocked(a, Event{
 		Time: se.part.now(), Kind: EventDraftUpdate,
@@ -213,10 +219,12 @@ func (se *Session) Send(to, subject, body string) (MessageID, error) {
 	}
 	id := a.nextID
 	a.nextID++
-	a.messages[id] = &Message{
+	m := &Message{
 		ID: id, Folder: FolderSent, From: se.account, To: to,
 		Subject: subject, Body: body, Date: now, Read: true,
 	}
+	m.bake()
+	a.messages[id] = m
 	se.svc.journalLocked(a, Event{
 		Time: now, Kind: EventSend,
 		Account: se.account, Cookie: se.cookie, Message: id, Detail: to,
@@ -226,6 +234,7 @@ func (se *Session) Send(to, subject, body string) (MessageID, error) {
 	}
 	if verdict := se.svc.abuse.recordSend(se.account, to, now); verdict != "" {
 		a.suspended = true
+		a.bumpAccessLocked(nil) // scraper-visible: the next login fails
 		se.svc.journalLocked(a, Event{Time: now, Kind: EventSuspend, Account: se.account, Detail: verdict})
 	}
 	return id, nil
@@ -267,6 +276,11 @@ func (se *Session) ChangePassword(newPassword string) error {
 	a.password = newPassword
 	a.passwordChanges++
 	se.passwordAt = a.passwordChanges
+	// Scraper-visible even though no activity row changes: the
+	// monitor's next login attempt fails, which is exactly the
+	// visibility-loss signal §4.2 describes — the version gate must
+	// open so that attempt happens on the very next scrape tick.
+	a.bumpAccessLocked(nil)
 	se.svc.journalLocked(a, Event{
 		Time: se.part.now(), Kind: EventPasswordChange,
 		Account: se.account, Cookie: se.cookie,
@@ -284,6 +298,29 @@ func (se *Session) ActivityPage() ([]Access, error) {
 		return nil, err
 	}
 	return se.svc.ActivityPage(se.account)
+}
+
+// ActivityPageSince returns the activity rows that changed since the
+// given cursor (a previously returned version; 0 selects every row)
+// plus the account's current access version, atomically. Rows come
+// back in page order (First, then Cookie). The monitor's version-gated
+// scraper uses this to pull per-account deltas instead of copying the
+// whole page on every tick; the returned version is the cursor for the
+// next scrape.
+func (se *Session) ActivityPageSince(cursor uint64) ([]Access, uint64, error) {
+	se.part.mu.Lock()
+	defer se.part.mu.Unlock()
+	a, err := se.touch()
+	if err != nil {
+		return nil, 0, err
+	}
+	var out []Access
+	for _, acc := range a.accessOrder {
+		if acc.rev > cursor {
+			out = append(out, *acc)
+		}
+	}
+	return out, a.accessVersion.Load(), nil
 }
 
 // Delete moves a message to trash.

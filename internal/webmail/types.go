@@ -18,6 +18,7 @@ package webmail
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/netsim"
@@ -49,6 +50,18 @@ type Message struct {
 	Read    bool
 	Starred bool
 	Labels  []string
+
+	// haystack is the precomputed lowercase subject+body the keyword
+	// search matches against. Baking it once at create/edit time keeps
+	// strings.ToLower off the per-query hot path (attackers search the
+	// same mailbox over and over; the text never changes between edits).
+	haystack string
+}
+
+// bake (re)computes the search haystack; every code path that sets or
+// edits Subject/Body must call it.
+func (m *Message) bake() {
+	m.haystack = strings.ToLower(m.Subject + "\n" + m.Body)
 }
 
 // clone returns a deep copy so callers cannot mutate stored state.
@@ -131,6 +144,11 @@ type Access struct {
 	Browser   netsim.Browser
 	Device    netsim.DeviceClass
 	Visits    int // number of distinct logins with this cookie
+
+	// rev is the account's accessVersion when this row last changed.
+	// The cursor-based activity-page scrape (Session.ActivityPageSince)
+	// uses it to return only the rows a poller has not seen yet.
+	rev uint64
 }
 
 // Errors returned by the service.

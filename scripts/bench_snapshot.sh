@@ -1,0 +1,40 @@
+#!/usr/bin/env sh
+# bench_snapshot.sh — record the perf trajectory of the sharded engine.
+#
+# Runs the end-to-end scaling benchmarks once each and writes
+# BENCH_PR3.json at the repo root: one record per benchmark with the
+# (shards, scale) point and wall-clock seconds, plus the CPU string so
+# numbers are only compared on comparable hardware.
+#
+# Usage: scripts/bench_snapshot.sh [output.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_PR3.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -bench 'BenchmarkShardedRun|BenchmarkStreamingRun' -benchtime 1x -run '^$' . | tee "$raw" >&2
+
+awk -v out="$out" '
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark(ShardedRun|StreamingRun)/ {
+    name = $1
+    # Trim the trailing -GOMAXPROCS suffix go test appends.
+    sub(/-[0-9]+$/, "", name)
+    ns = $3
+    shards = "null"; scale = "null"
+    if (match(name, /shards=[0-9]+/)) shards = substr(name, RSTART + 7, RLENGTH - 7)
+    if (match(name, /scale=[0-9]+/))  scale  = substr(name, RSTART + 6, RLENGTH - 6)
+    n++
+    rows[n] = sprintf("    {\"name\": \"%s\", \"shards\": %s, \"scale\": %s, \"seconds\": %.3f}",
+                      name, shards, scale, ns / 1e9)
+}
+END {
+    if (n == 0) { print "bench_snapshot: no benchmark lines parsed" > "/dev/stderr"; exit 1 }
+    printf "{\n  \"pr\": 3,\n  \"cpu\": \"%s\",\n  \"benchtime\": \"1x\",\n  \"benchmarks\": [\n", cpu > out
+    for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "") > out
+    printf "  ]\n}\n" > out
+}' "$raw"
+
+echo "wrote $out" >&2
