@@ -24,6 +24,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/report"
 	"repro/internal/rng"
+	"repro/internal/scenario"
 	"repro/internal/simtime"
 	"repro/internal/webmail"
 )
@@ -533,6 +534,39 @@ func BenchmarkShardedRun(b *testing.B) {
 			b.Run(fmt.Sprintf("shards=%d/scale=%d", shards, scale), func(b *testing.B) {
 				benchShardedRun(b, shards, scale)
 			})
+		}
+	}
+}
+
+// BenchmarkMatrixRun times the scenario matrix engine end to end:
+// five named presets running concurrently on a shared worker budget
+// (NumCPU workers, 2 shards/scenario), 60-day windows. This is the
+// multi-experiment workload the scenario subsystem opens up; the
+// trajectory continues in scripts/bench_snapshot.sh's BENCH_PR4.json.
+func BenchmarkMatrixRun(b *testing.B) {
+	names := []string{"baseline", "paste-only", "forum-only", "malware-heavy", "spam-wave"}
+	var specs []scenario.Spec
+	for _, n := range names {
+		s, err := scenario.Preset(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		specs = append(specs, s)
+	}
+	opts := scenario.Options{BaseSeed: 42, Shards: 2, Scale: 1, DaysOverride: 60}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := scenario.RunMatrix(specs, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+			if r.Agg.Classes.Total == 0 {
+				b.Fatalf("scenario %s observed nothing", r.Spec.Name)
+			}
 		}
 	}
 }

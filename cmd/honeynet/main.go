@@ -1,10 +1,13 @@
 // Command honeynet runs the full honey-account experiment and prints
-// the paper's tables and figures.
+// the paper's tables and figures, or runs declarative scenario
+// variants (alone or as a concurrent matrix) and compares them.
 //
 // Usage:
 //
 //	honeynet [-seed N] [-days N] [-experiment id] [-resamples N]
 //	         [-shards N] [-scale K] [-stream=bool] [-dirty-tracking=bool]
+//	honeynet -scenario <name|file> [-out dir] [...]
+//	honeynet -matrix <name|file>[,<name|file>...] [-out dir] [-workers N] [...]
 //
 // Experiment ids: overview, table1, fig1, fig2, fig3, fig4, fig5a,
 // fig5b, cvm, table2, sysconfig, cases, sophistication, all.
@@ -21,6 +24,16 @@
 // skipped without a login; -dirty-tracking=false restores the
 // scrape-everything behaviour (identical reports, much slower at
 // scale).
+//
+// -scenario runs one declarative experiment variant (an embedded
+// preset name such as "baseline" or "paste-only", or a TOML/JSON spec
+// file) and prints its full report. -matrix runs several variants
+// concurrently on one worker budget (-workers, default NumCPU) and
+// prints the comparative report: one column per scenario, deltas
+// against the first column. -out writes one canonical JSON aggregate
+// artifact per scenario for cross-run diffing. With -scenario/-matrix
+// the -days flag only overrides the specs' windows when set
+// explicitly.
 package main
 
 import (
@@ -35,6 +48,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/honeynet"
 	"repro/internal/report"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -47,6 +61,10 @@ func main() {
 		scale      = flag.Int("scale", 1, "replicate the deployment plan K× (simulates 100·K accounts for Table 1)")
 		stream     = flag.Bool("stream", true, "classify accesses on the fly per shard and report from merged aggregates (false = legacy full-dataset merge)")
 		dirty      = flag.Bool("dirty-tracking", true, "version-gate the activity-page scraper so quiet accounts cost ~zero per tick (false = log into every account every tick; identical reports)")
+		scen       = flag.String("scenario", "", "run one scenario (preset name or TOML/JSON file) and print its full report")
+		matrix     = flag.String("matrix", "", "comma-separated scenarios to run concurrently and compare (first is the baseline column)")
+		outDir     = flag.String("out", "", "directory for per-scenario JSON aggregate artifacts")
+		workers    = flag.Int("workers", 0, "matrix-wide worker budget shared by all scenarios (0 = one per CPU)")
 	)
 	flag.Parse()
 
@@ -55,6 +73,33 @@ func main() {
 	}
 	if *scale < 1 {
 		*scale = 1
+	}
+
+	if *scen != "" || *matrix != "" {
+		daysExplicit := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "days" {
+				daysExplicit = true
+			}
+		})
+		opts := scenario.Options{
+			BaseSeed: *seed,
+			Shards:   *shards,
+			Scale:    *scale,
+			Workers:  *workers,
+		}
+		if daysExplicit {
+			opts.DaysOverride = *days
+		}
+		if *scen != "" && *matrix != "" {
+			log.Fatal("use either -scenario or -matrix, not both")
+		}
+		if *scen != "" {
+			runScenario(*scen, opts, *resamples, *outDir)
+		} else {
+			runMatrix(strings.Split(*matrix, ","), opts, *outDir)
+		}
+		return
 	}
 	exp, err := honeynet.New(honeynet.Config{
 		Seed:                 *seed,
@@ -94,8 +139,7 @@ func main() {
 		return report.Table1(rows)
 	}
 	cases := func(draftCopies int) string {
-		return fmt.Sprintf("Case studies (§4.7)\nblackmail sessions: %d\ndraft copies captured: %d\nforum inquiries: %d\n",
-			exp.Blackmailers(), draftCopies, len(exp.AllInquiries()))
+		return report.CaseStudies(exp.Blackmailers(), draftCopies, len(exp.AllInquiries()))
 	}
 
 	var sections map[string]func() string
@@ -178,4 +222,91 @@ func main() {
 		log.Fatalf("unknown experiment %q (have: %s, all)", want, strings.Join(order, ", "))
 	}
 	fmt.Println(section())
+}
+
+// runScenario executes one declarative variant and prints its full
+// report.
+func runScenario(arg string, opts scenario.Options, resamples int, outDir string) {
+	spec, err := scenario.Resolve(arg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seed := opts.BaseSeed
+	if spec.Seed != nil {
+		seed = *spec.Seed
+	}
+	fmt.Fprintf(os.Stderr, "running scenario %s (seed %d, %d shard(s), scale %d×)...\n",
+		spec.Name, seed, opts.Shards, opts.Scale)
+	start := time.Now()
+	res := scenario.Run(spec, seed, opts)
+	if res.Err != nil {
+		log.Fatal(res.Err)
+	}
+	fmt.Fprintf(os.Stderr, "done in %v (%d events)\n\n", time.Since(start).Round(time.Millisecond), res.Events)
+	out, err := scenario.RenderFullReport(res, resamples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(out)
+	writeArtifacts(outDir, []*scenario.Result{res})
+}
+
+// runMatrix executes several variants concurrently on one shared
+// worker budget and prints the comparative report.
+func runMatrix(args []string, opts scenario.Options, outDir string) {
+	var specs []scenario.Spec
+	for _, arg := range args {
+		arg = strings.TrimSpace(arg)
+		if arg == "" {
+			continue
+		}
+		spec, err := scenario.Resolve(arg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		specs = append(specs, spec)
+	}
+	fmt.Fprintf(os.Stderr, "running %d-scenario matrix (base seed %d, %d shard(s)/scenario, scale %d×)...\n",
+		len(specs), opts.BaseSeed, opts.Shards, opts.Scale)
+	start := time.Now()
+	results, err := scenario.RunMatrix(specs, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	failed := false
+	var cols []report.ScenarioColumn
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "scenario %s FAILED: %v\n", r.Spec.Name, r.Err)
+			failed = true
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "scenario %-20s seed %-20d %8d events  %v\n",
+			r.Spec.Name, r.Seed, r.Events, r.Elapsed.Round(time.Millisecond))
+		cols = append(cols, report.ScenarioColumn{Name: r.Spec.Name, Agg: r.Agg})
+	}
+	fmt.Fprintf(os.Stderr, "matrix done in %v\n\n", time.Since(start).Round(time.Millisecond))
+	// The first scenario is the delta reference: if it failed, every
+	// delta would silently rebase on whichever scenario survived, so
+	// refuse to render the comparison at all.
+	if results[0].Err != nil {
+		fmt.Fprintln(os.Stderr, "baseline scenario failed; not rendering the comparative report")
+	} else {
+		fmt.Print(report.Comparative(cols))
+	}
+	writeArtifacts(outDir, results)
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func writeArtifacts(outDir string, results []*scenario.Result) {
+	if outDir == "" {
+		return
+	}
+	paths, err := scenario.WriteArtifacts(outDir, results)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d artifact(s) to %s\n", len(paths), outDir)
 }

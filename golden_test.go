@@ -1,0 +1,115 @@
+// Golden-report regression corpus: small-scale, fixed-seed rendered
+// reports for the baseline and two scenario presets, committed under
+// testdata/golden/ and asserted byte-identical on every run. The
+// reports exercise the whole stack — spec loading, the matrix runner,
+// streaming aggregation, every renderer — so any change that moves a
+// single reported byte (a renderer tweak, an rng reordering, a
+// calibration edit) shows up as a readable diff against the corpus.
+//
+// Regenerate intentionally with:
+//
+//	go test -run TestGoldenReports -update
+package repro
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/report"
+	"repro/internal/scenario"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the testdata/golden corpus instead of asserting against it")
+
+// goldenPresets are the committed scenarios: the baseline plus one
+// plan variant and one calibration variant.
+var goldenPresets = []string{"baseline", "paste-only", "spam-wave"}
+
+const goldenResamples = 200
+
+// goldenOpts pins the corpus scale: 60-day windows, two shards per
+// scenario (exercising the sharded merge), base seed 11.
+func goldenOpts() scenario.Options {
+	return scenario.Options{BaseSeed: 11, Shards: 2, Scale: 1, Workers: 4, DaysOverride: 60}
+}
+
+func goldenMatrix(t *testing.T) []*scenario.Result {
+	t.Helper()
+	var specs []scenario.Spec
+	for _, name := range goldenPresets {
+		s, err := scenario.Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, s)
+	}
+	results, err := scenario.RunMatrix(specs, goldenOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("scenario %s: %v", r.Spec.Name, r.Err)
+		}
+	}
+	return results
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (run `go test -run TestGoldenReports -update`): %v", path, err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("%s drifted from the golden corpus\n%s\n(if the change is intentional, regenerate with -update)",
+			path, firstDiff(string(want), string(got)))
+	}
+}
+
+// TestGoldenReports renders the full per-scenario reports and the
+// comparative matrix report and holds them byte-identical to the
+// committed corpus.
+func TestGoldenReports(t *testing.T) {
+	results := goldenMatrix(t)
+	var cols []report.ScenarioColumn
+	for _, r := range results {
+		out, err := scenario.RenderFullReport(r, goldenResamples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, r.Spec.Name+".txt", []byte(out))
+		cols = append(cols, report.ScenarioColumn{Name: r.Spec.Name, Agg: r.Agg})
+	}
+	checkGolden(t, "matrix.txt", []byte(report.Comparative(cols)))
+}
+
+// TestGoldenArtifacts holds the canonical JSON artifact encoding to
+// the corpus as well — the cross-run diffing format must not drift
+// silently either.
+func TestGoldenArtifacts(t *testing.T) {
+	for _, r := range goldenMatrix(t) {
+		art, err := scenario.BuildArtifact(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := art.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, r.Spec.Name+".json", data)
+	}
+}

@@ -52,6 +52,35 @@ type Population struct {
 	Browsers []netsim.Browser
 }
 
+// Populations bundles the per-channel attacker calibrations an engine
+// runs with. The zero value is not useful; start from
+// DefaultPopulations (the paper's measured marginals) and override
+// fields per scenario (the scenario layer applies declarative
+// calibration overrides on top of the defaults).
+type Populations struct {
+	// Paste drives criminals arriving from the popular paste sites;
+	// PasteRussian drives the low-traffic Russian paste sites (the
+	// paper's populations are the same, only the outlet cadence
+	// differs, but scenarios may split them).
+	Paste        Population
+	PasteRussian Population
+	// Forum drives the underground-forum browsers.
+	Forum Population
+	// Malware drives the information-stealing-malware botmasters.
+	Malware Population
+}
+
+// DefaultPopulations returns the paper-calibrated populations
+// (§4.2–§4.5 marginals; see the per-variable comments below).
+func DefaultPopulations() Populations {
+	return Populations{
+		Paste:        pastePopulation,
+		PasteRussian: pastePopulation,
+		Forum:        forumPopulation,
+		Malware:      malwarePopulation,
+	}
+}
+
 // PastePopulation: criminals harvesting public paste sites.
 //
 //   - 20% of paste accesses are hijackers (Figure 2).

@@ -102,6 +102,9 @@ type Config struct {
 	// so cookie values don't depend on cross-shard interleaving; nil
 	// falls back to the platform's jar.
 	Cookies *netsim.CookieJar
+	// Populations overrides the per-channel attacker calibrations;
+	// nil selects DefaultPopulations (the paper's marginals).
+	Populations *Populations
 }
 
 // Engine spawns and drives attackers.
@@ -113,6 +116,7 @@ type Engine struct {
 	gaz   *geo.Gazetteer
 	src   *rng.Source
 	jar   *netsim.CookieJar // nil -> use the platform's jar
+	pops  Populations
 
 	mu           sync.Mutex
 	records      []*Record
@@ -129,6 +133,10 @@ func New(cfg Config) *Engine {
 		cfg.Blacklist == nil || cfg.Gazetteer == nil || cfg.Src == nil {
 		panic("attacker: all Config fields are required")
 	}
+	pops := DefaultPopulations()
+	if cfg.Populations != nil {
+		pops = *cfg.Populations
+	}
 	return &Engine{
 		svc:         cfg.Service,
 		sched:       cfg.Scheduler,
@@ -137,6 +145,7 @@ func New(cfg Config) *Engine {
 		gaz:         cfg.Gazetteer,
 		src:         cfg.Src,
 		jar:         cfg.Cookies,
+		pops:        pops,
 		resaleWaves: make(map[string][]time.Time),
 		leakTimes:   make(map[string]time.Time),
 		passwords:   make(map[string]string),
@@ -172,11 +181,11 @@ func (e *Engine) HandlePickup(p outlets.Pickup) {
 	var label OutletLabel
 	switch {
 	case p.Site.Kind == outlets.KindPaste && p.Site.Russian:
-		pop, label = pastePopulation, OutletPasteRussian
+		pop, label = e.pops.PasteRussian, OutletPasteRussian
 	case p.Site.Kind == outlets.KindPaste:
-		pop, label = pastePopulation, OutletPaste
+		pop, label = e.pops.Paste, OutletPaste
 	default:
-		pop, label = forumPopulation, OutletForum
+		pop, label = e.pops.Forum, OutletForum
 	}
 	var hint *outlets.LocationHint
 	if p.Credential.Hint != nil {
@@ -213,7 +222,7 @@ func (e *Engine) HandleExfil(ex malnet.Exfiltration) {
 	// only ~40% of malware accesses land within 25 days (Figure 3).
 	lag := time.Duration(e.src.Exponential(28 * float64(24*time.Hour)))
 	e.sched.At(now.Add(lag), "botmaster-check", func(time.Time) {
-		pop := malwarePopulation
+		pop := e.pops.Malware
 		pop.GoldDiggerProb = 0.15 // early checks are mostly curious (§4.3)
 		e.spawn(ex.Credential.Account, ex.Credential.Password, OutletMalware, pop, nil, e.sched.Now())
 	})
@@ -229,7 +238,7 @@ func (e *Engine) HandleExfil(ex malnet.Exfiltration) {
 		}
 		at := now.Add(time.Duration(day * float64(24*time.Hour)))
 		e.sched.At(at, "resale-wave", func(time.Time) {
-			pop := malwarePopulation
+			pop := e.pops.Malware
 			pop.GoldDiggerProb = 0.9 // wave accesses assess value
 			e.spawn(ex.Credential.Account, ex.Credential.Password, OutletMalware, pop, nil, e.sched.Now())
 			e.mu.Lock()

@@ -18,6 +18,7 @@ package corpus
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -87,18 +88,121 @@ var departments = []string{
 	"Gas Marketing", "Information Technology",
 }
 
-// NewPersonas draws n distinct personas on the given mail domain.
+// Locale is a decoy-identity locale: the name pools and mail domain
+// honey personas are drawn from. Email Babel (Bernard-Jones, Onaolapo
+// & Stringhini 2017) showed the same honeypot design answers new
+// questions when the decoy population is language-localized; locales
+// vary the identity layer (names, domain) while the mail corpus stays
+// the synthetic corporate-English stand-in.
+type Locale struct {
+	Name   string
+	Domain string
+	First  []string
+	Last   []string
+}
+
+// DefaultLocale is the seed deployment's English-name identity pool.
+func DefaultLocale() Locale {
+	return Locale{Name: "en", Domain: "honeymail.example", First: popularFirst, Last: popularLast}
+}
+
+// locales indexes the built-in identity pools by name.
+var locales = map[string]Locale{
+	"en": DefaultLocale(),
+	"es": {
+		Name: "es", Domain: "correomiel.example",
+		First: []string{
+			"Antonio", "Maria", "Jose", "Carmen", "Manuel", "Ana", "Francisco",
+			"Isabel", "Juan", "Dolores", "Javier", "Pilar", "Miguel", "Teresa",
+			"Rafael", "Rosa", "Carlos", "Lucia", "Daniel", "Elena", "Alejandro",
+			"Marta", "Fernando", "Cristina",
+		},
+		Last: []string{
+			"Garcia", "Fernandez", "Gonzalez", "Rodriguez", "Lopez", "Martinez",
+			"Sanchez", "Perez", "Gomez", "Martin", "Jimenez", "Ruiz",
+			"Hernandez", "Diaz", "Moreno", "Alvarez", "Romero", "Navarro",
+			"Torres", "Dominguez", "Vazquez", "Ramos", "Gil", "Serrano",
+		},
+	},
+	"de": {
+		Name: "de", Domain: "honigpost.example",
+		First: []string{
+			"Hans", "Anna", "Peter", "Ursula", "Michael", "Monika", "Thomas",
+			"Petra", "Andreas", "Sabine", "Wolfgang", "Renate", "Klaus",
+			"Karin", "Juergen", "Brigitte", "Stefan", "Claudia", "Uwe",
+			"Susanne", "Frank", "Gabriele", "Markus", "Heike",
+		},
+		Last: []string{
+			"Mueller", "Schmidt", "Schneider", "Fischer", "Weber", "Meyer",
+			"Wagner", "Becker", "Schulz", "Hoffmann", "Schaefer", "Koch",
+			"Bauer", "Richter", "Klein", "Wolf", "Schroeder", "Neumann",
+			"Schwarz", "Zimmermann", "Braun", "Krueger", "Hofmann", "Hartmann",
+		},
+	},
+	"fr": {
+		Name: "fr", Domain: "mielcourrier.example",
+		First: []string{
+			"Jean", "Marie", "Pierre", "Nathalie", "Michel", "Isabelle",
+			"Philippe", "Sylvie", "Alain", "Catherine", "Nicolas", "Francoise",
+			"Christophe", "Valerie", "Laurent", "Christine", "Patrick",
+			"Sandrine", "Olivier", "Veronique", "Julien", "Celine", "David",
+			"Sophie",
+		},
+		Last: []string{
+			"Martin", "Bernard", "Dubois", "Thomas", "Robert", "Richard",
+			"Petit", "Durand", "Leroy", "Moreau", "Simon", "Laurent",
+			"Lefebvre", "Michel", "Garcia", "David", "Bertrand", "Roux",
+			"Vincent", "Fournier", "Morel", "Girard", "Andre", "Mercier",
+		},
+	},
+}
+
+// LocaleByName resolves a built-in locale ("en", "es", "de", "fr").
+func LocaleByName(name string) (Locale, bool) {
+	l, ok := locales[name]
+	return l, ok
+}
+
+// LocaleNames lists the built-in locale names, sorted.
+func LocaleNames() []string {
+	out := make([]string, 0, len(locales))
+	for k := range locales {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NewPersonas draws n distinct personas on the given mail domain from
+// the default English name pools.
 func NewPersonas(src *rng.Source, n int, domain string) []Persona {
+	loc := DefaultLocale()
+	loc.Domain = domain
+	return NewPersonasLocale(src, n, loc)
+}
+
+// NewPersonasLocale draws n distinct personas from a locale's name
+// pools on its mail domain. For the default locale the draw sequence
+// is identical to NewPersonas, so localization is a pure overlay on
+// the seed behaviour.
+func NewPersonasLocale(src *rng.Source, n int, loc Locale) []Persona {
+	if len(loc.First) == 0 || len(loc.Last) == 0 {
+		def := DefaultLocale()
+		loc.First, loc.Last = def.First, def.Last
+	}
+	if loc.Domain == "" {
+		loc.Domain = DefaultLocale().Domain
+	}
 	out := make([]Persona, 0, n)
 	used := map[string]bool{}
 	for len(out) < n {
-		first := rng.Pick(src, popularFirst)
-		last := rng.Pick(src, popularLast)
-		email := strings.ToLower(first) + "." + strings.ToLower(last) + "@" + domain
+		first := rng.Pick(src, loc.First)
+		last := rng.Pick(src, loc.Last)
+		email := strings.ToLower(first) + "." + strings.ToLower(last) + "@" + loc.Domain
 		if used[email] {
 			// Disambiguate collisions with a numeric suffix, as real
 			// providers do.
-			email = fmt.Sprintf("%s.%s%d@%s", strings.ToLower(first), strings.ToLower(last), len(out), domain)
+			email = fmt.Sprintf("%s.%s%d@%s", strings.ToLower(first), strings.ToLower(last), len(out), loc.Domain)
 		}
 		used[email] = true
 		out = append(out, Persona{

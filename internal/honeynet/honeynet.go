@@ -72,6 +72,26 @@ type Config struct {
 	// and every report are identical either way; the flag exists as an
 	// escape hatch and to measure what dirty tracking saves.
 	DisableDirtyTracking bool
+	// Sites overrides the outlet catalogue credentials are leaked
+	// through (nil selects outlets.DefaultSites, the paper's venues).
+	// The scenario layer uses this to vary leak-exposure dynamics
+	// (slower pickup cadences, different venue mixes).
+	Sites []*outlets.Site
+	// Populations overrides the per-channel attacker calibrations
+	// (nil selects attacker.DefaultPopulations, the paper's measured
+	// marginals).
+	Populations *attacker.Populations
+	// Locale overrides the decoy-identity locale (names + mail
+	// domain) the honey personas are drawn from; nil selects the
+	// seed deployment's English pool.
+	Locale *corpus.Locale
+}
+
+// DefaultStart is the paper's leak date, 2015-06-25 (§3.2) — the
+// Config.Start zero-value default. Exported so layers that offset the
+// start (the scenario timezone axis) share the one constant.
+func DefaultStart() time.Time {
+	return time.Date(2015, 6, 25, 0, 0, 0, 0, time.UTC)
 }
 
 func (c Config) withDefaults() Config {
@@ -79,7 +99,7 @@ func (c Config) withDefaults() Config {
 		c.Plan = Table1Plan()
 	}
 	if c.Start.IsZero() {
-		c.Start = time.Date(2015, 6, 25, 0, 0, 0, 0, time.UTC)
+		c.Start = DefaultStart()
 	}
 	if c.Duration <= 0 {
 		c.Duration = 236 * 24 * time.Hour
@@ -98,6 +118,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ScaleFactor <= 0 {
 		c.ScaleFactor = 1
+	}
+	if c.Sites == nil {
+		c.Sites = outlets.DefaultSites()
 	}
 	return c
 }
@@ -183,7 +206,7 @@ func New(cfg Config) (*Experiment, error) {
 	}
 	for i, spec := range plan {
 		sh := shards[i%len(shards)]
-		e.blocks = append(e.blocks, newBlock(i, len(plan), spec, sh, src, gaz, bl, svc))
+		e.blocks = append(e.blocks, newBlock(i, len(plan), spec, sh, src, cfg, gaz, bl, svc))
 	}
 	return e, nil
 }
@@ -281,7 +304,11 @@ func (e *Experiment) Setup() error {
 		return fmt.Errorf("honeynet: Setup called twice")
 	}
 	n := PlanAccounts(e.plan)
-	personas := corpus.NewPersonas(e.src.ForkNamed("personas"), n, "honeymail.example")
+	locale := corpus.DefaultLocale()
+	if e.cfg.Locale != nil {
+		locale = *e.cfg.Locale
+	}
+	personas := corpus.NewPersonasLocale(e.src.ForkNamed("personas"), n, locale)
 	gen := corpus.NewGenerator(e.src.ForkNamed("corpus"), corpus.DefaultConfig())
 
 	seedStart := e.cfg.Start.Add(-180 * 24 * time.Hour)
@@ -476,6 +503,19 @@ func (e *Experiment) Run() error {
 		return fmt.Errorf("honeynet: Run before Leak")
 	}
 	e.set.RunUntil(e.cfg.Start.Add(e.cfg.Duration), len(e.shards))
+	return nil
+}
+
+// RunPooled is Run drawing its shard workers from a shared
+// simtime.WorkerPool instead of one goroutine per shard — the matrix
+// engine's entry point, letting N concurrent scenarios jointly
+// respect one worker budget. The merged results are identical to
+// Run's for the same seed.
+func (e *Experiment) RunPooled(pool *simtime.WorkerPool) error {
+	if !e.leaked {
+		return fmt.Errorf("honeynet: Run before Leak")
+	}
+	e.set.RunUntilPool(e.cfg.Start.Add(e.cfg.Duration), pool)
 	return nil
 }
 

@@ -118,8 +118,10 @@ func newShards(n int, cfg Config, svc *webmail.Service, monEP netsim.Endpoint) (
 // newBlock builds the deterministic machinery for expanded-plan entry
 // idx of total, running on the given shard. All randomness descends
 // from root.ForkShard(idx, total), so the block's behaviour is
-// independent of the shard layout.
-func newBlock(idx, total int, spec GroupSpec, sh *shard, root *rng.Source,
+// independent of the shard layout. The outlet catalogue and attacker
+// populations come from cfg (scenario overrides); defaults reproduce
+// the paper's deployment.
+func newBlock(idx, total int, spec GroupSpec, sh *shard, root *rng.Source, cfg Config,
 	gaz *geo.Gazetteer, bl *netsim.Blacklist, svc *webmail.Service) *block {
 	src := root.ForkShard(idx, total)
 	b := &block{
@@ -132,16 +134,17 @@ func newBlock(idx, total int, spec GroupSpec, sh *shard, root *rng.Source,
 		// distinct attackers never share an address.
 		space: netsim.NewAddressSpaceTenant(src.ForkNamed("address-space"), gaz, idx),
 		jar:   netsim.NewCookieJarPrefixed(fmt.Sprintf("b%d", idx)),
-		reg:   outlets.NewRegistry(outlets.DefaultSites(), sh.sched, src.ForkNamed("outlets")),
+		reg:   outlets.NewRegistry(cfg.Sites, sh.sched, src.ForkNamed("outlets")),
 	}
 	b.engine = attacker.New(attacker.Config{
-		Service:   svc,
-		Scheduler: sh.sched,
-		Space:     b.space,
-		Blacklist: bl,
-		Gazetteer: gaz,
-		Src:       src.ForkNamed("attackers"),
-		Cookies:   b.jar,
+		Service:     svc,
+		Scheduler:   sh.sched,
+		Space:       b.space,
+		Blacklist:   bl,
+		Gazetteer:   gaz,
+		Src:         src.ForkNamed("attackers"),
+		Cookies:     b.jar,
+		Populations: cfg.Populations,
 	})
 	b.sandbox = malnet.NewSandbox(malnet.SandboxConfig{}, sh.sched, func(ex malnet.Exfiltration) {
 		b.engine.HandleExfil(ex)

@@ -1,0 +1,220 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Comparative rendering: the scenario matrix engine runs N experiment
+// variants and this layer puts them side by side — one column per
+// scenario, every non-baseline cell annotated with its delta against
+// the baseline column (the first ScenarioColumn). Sections mirror the
+// single-run report: headline overview counters, §4.2 class mix,
+// §4.3 duration CDFs on the Figure 1 probe grid, and the §4.5
+// location medians.
+
+// ScenarioColumn is one scenario's aggregates under its display name.
+type ScenarioColumn struct {
+	Name string
+	Agg  *analysis.Aggregates
+}
+
+// Comparative renders the full comparison; cols[0] is the baseline.
+func Comparative(cols []ScenarioColumn) string {
+	if len(cols) == 0 {
+		return "(no scenarios)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scenario matrix: %d scenario(s), baseline %q\n\n", len(cols), cols[0].Name)
+	b.WriteString("Overview (§4.1/§4.5)\n" + compareOverview(cols))
+	b.WriteString("\nAccess classes (§4.2, Figure 2)\n" + compareClasses(cols))
+	b.WriteString("\nAccess duration CDFs (§4.3, Figure 1) — P(length <= probe)\n" + compareDurations(cols))
+	b.WriteString("\nMedian login distance (§4.5, Figure 5)\n" + compareRadii(cols))
+	return b.String()
+}
+
+// deltaInt formats "v (Δ)" against a baseline integer.
+func deltaInt(v, base int) string {
+	return fmt.Sprintf("%d (%+d)", v, v-base)
+}
+
+func compareOverview(cols []ScenarioColumn) string {
+	t := NewTable(append([]string{"metric"}, columnNames(cols)...)...)
+	metrics := []struct {
+		name string
+		get  func(analysis.Overview) int
+	}{
+		{"unique accesses", func(o analysis.Overview) int { return o.UniqueAccesses }},
+		{"emails read", func(o analysis.Overview) int { return o.EmailsRead }},
+		{"emails sent", func(o analysis.Overview) int { return o.EmailsSent }},
+		{"unique drafts", func(o analysis.Overview) int { return o.UniqueDrafts }},
+		{"accounts blocked", func(o analysis.Overview) int { return o.SuspendedAccounts }},
+		{"countries", func(o analysis.Overview) int { return o.Countries }},
+		{"accesses w/ location", func(o analysis.Overview) int { return o.WithLocation }},
+		{"accesses w/o location", func(o analysis.Overview) int { return o.WithoutLocation }},
+		{"blacklisted IPs", func(o analysis.Overview) int { return o.BlacklistedIPs }},
+	}
+	base := cols[0].Agg.Overview()
+	for _, m := range metrics {
+		cells := []string{m.name, fmt.Sprint(m.get(base))}
+		for _, c := range cols[1:] {
+			cells = append(cells, deltaInt(m.get(c.Agg.Overview()), m.get(base)))
+		}
+		t.AddRow(cells...)
+	}
+	return t.String()
+}
+
+func compareClasses(cols []ScenarioColumn) string {
+	t := NewTable(append([]string{"class"}, columnNames(cols)...)...)
+	classes := []struct {
+		name string
+		get  func(analysis.ClassCounts) int
+	}{
+		{"total", func(c analysis.ClassCounts) int { return c.Total }},
+		{"curious", func(c analysis.ClassCounts) int { return c.Curious }},
+		{"gold-digger", func(c analysis.ClassCounts) int { return c.GoldDigger }},
+		{"spammer", func(c analysis.ClassCounts) int { return c.Spammer }},
+		{"hijacker", func(c analysis.ClassCounts) int { return c.Hijacker }},
+	}
+	base := cols[0].Agg.Classes
+	share := func(c analysis.ClassCounts, n int) float64 {
+		if c.Total == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(c.Total)
+	}
+	for _, cl := range classes {
+		cells := []string{cl.name}
+		if cl.name == "total" {
+			cells = append(cells, fmt.Sprint(cl.get(base)))
+			for _, c := range cols[1:] {
+				cells = append(cells, deltaInt(cl.get(c.Agg.Classes), cl.get(base)))
+			}
+		} else {
+			baseShare := share(base, cl.get(base))
+			cells = append(cells, fmt.Sprintf("%d (%.0f%%)", cl.get(base), baseShare))
+			for _, c := range cols[1:] {
+				cc := c.Agg.Classes
+				cells = append(cells, fmt.Sprintf("%d (%.0f%%, %+.0fpp)",
+					cl.get(cc), share(cc, cl.get(cc)), share(cc, cl.get(cc))-baseShare))
+			}
+		}
+		t.AddRow(cells...)
+	}
+	return t.String()
+}
+
+func compareDurations(cols []ScenarioColumn) string {
+	// Row space: union of class keys across scenarios × the baseline
+	// probe grid (all sketches share the package grid).
+	keySet := map[string]bool{}
+	for _, c := range cols {
+		for k := range c.Agg.Durations {
+			keySet[k] = true
+		}
+	}
+	keys := make([]string, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	t := NewTable(append([]string{"class", "probe (h)"}, columnNames(cols)...)...)
+	for _, k := range keys {
+		for pi, probe := range analysis.DurationProbes {
+			cells := []string{k, fmt.Sprintf("%g", probe)}
+			var baseFrac float64
+			baseSk, baseOK := cols[0].Agg.Durations[k]
+			if baseOK {
+				baseFrac = baseSk.Frac(pi)
+				cells = append(cells, fmt.Sprintf("%.2f", baseFrac))
+			} else {
+				cells = append(cells, "-")
+			}
+			for _, c := range cols[1:] {
+				sk, ok := c.Agg.Durations[k]
+				switch {
+				case !ok:
+					cells = append(cells, "-")
+				case !baseOK:
+					cells = append(cells, fmt.Sprintf("%.2f", sk.Frac(pi)))
+				default:
+					cells = append(cells, fmt.Sprintf("%.2f (%+.2f)", sk.Frac(pi), sk.Frac(pi)-baseFrac))
+				}
+			}
+			t.AddRow(cells...)
+		}
+	}
+	return t.String()
+}
+
+func compareRadii(cols []ScenarioColumn) string {
+	type rowKey struct {
+		region analysis.Hint
+		group  analysis.GroupKey
+	}
+	// Union of (region, group) rows in the canonical MedianRadii order.
+	var order []rowKey
+	seen := map[rowKey]bool{}
+	vals := make([]map[rowKey]analysis.RadiusRow, len(cols))
+	for i, c := range cols {
+		vals[i] = map[rowKey]analysis.RadiusRow{}
+		for _, region := range []analysis.Hint{analysis.HintUK, analysis.HintUS} {
+			for _, r := range c.Agg.MedianRadii(region) {
+				k := rowKey{region: region, group: r.Group}
+				vals[i][k] = r
+				if !seen[k] {
+					seen[k] = true
+					order = append(order, k)
+				}
+			}
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].region != order[j].region {
+			return order[i].region < order[j].region
+		}
+		if order[i].group.Outlet != order[j].group.Outlet {
+			return order[i].group.Outlet < order[j].group.Outlet
+		}
+		return order[i].group.Hint < order[j].group.Hint
+	})
+	t := NewTable(append([]string{"region", "group"}, columnNames(cols)...)...)
+	for _, k := range order {
+		hint := string(k.group.Hint)
+		if hint == "" {
+			hint = "no-loc"
+		}
+		cells := []string{string(k.region), fmt.Sprintf("%s/%s", k.group.Outlet, hint)}
+		baseRow, baseOK := vals[0][k]
+		if baseOK {
+			cells = append(cells, fmt.Sprintf("%.0f km (n=%d)", baseRow.MedianKm, baseRow.N))
+		} else {
+			cells = append(cells, "-")
+		}
+		for i := 1; i < len(cols); i++ {
+			r, ok := vals[i][k]
+			switch {
+			case !ok:
+				cells = append(cells, "-")
+			case !baseOK:
+				cells = append(cells, fmt.Sprintf("%.0f km (n=%d)", r.MedianKm, r.N))
+			default:
+				cells = append(cells, fmt.Sprintf("%.0f km (%+.0f, n=%d)", r.MedianKm, r.MedianKm-baseRow.MedianKm, r.N))
+			}
+		}
+		t.AddRow(cells...)
+	}
+	return t.String()
+}
+
+func columnNames(cols []ScenarioColumn) []string {
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = c.Name
+	}
+	return out
+}

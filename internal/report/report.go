@@ -239,6 +239,13 @@ func Table2(searched, corpusTop []analysis.TermScore) string {
 	return "Table 2: inferred searched words vs corpus-important words\n" + t.String()
 }
 
+// CaseStudies renders the §4.7 counters — the one format shared by
+// the single-run CLI and the scenario report.
+func CaseStudies(blackmailers, draftCopies, inquiries int) string {
+	return fmt.Sprintf("Case studies (§4.7)\nblackmail sessions: %d\ndraft copies captured: %d\nforum inquiries: %d\n",
+		blackmailers, draftCopies, inquiries)
+}
+
 // SystemConfig renders the §4.4 fingerprint breakdown.
 func SystemConfig(rows []analysis.ConfigRow) string {
 	t := NewTable("outlet", "accesses", "empty-UA", "android", "desktop")

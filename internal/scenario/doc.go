@@ -1,0 +1,29 @@
+// Package scenario turns the single-reproduction harness into a
+// multi-experiment platform: declarative, validated experiment
+// variants ("scenarios") that run concurrently on a shared worker
+// budget and get compared in one report.
+//
+// The paper's findings (§4.2–§4.8) all come from one configuration —
+// the Table 1 plan, one leak date, English decoys, a fixed outlet
+// mix. A Spec varies any of those axes without touching Go code: plan
+// composition, outlet catalogue and cadence, attacker-calibration
+// overrides per channel, decoy locale/timezone, leak date, scan and
+// scrape cadences, and the engine toggles (streaming, dirty
+// tracking, visible scripts). Specs load from embedded named presets
+// (Presets, e.g. "baseline", "paste-only", "malware-heavy") or from
+// user TOML/JSON files (LoadFile; the TOML dialect is the small
+// subset parseTOML documents).
+//
+// RunMatrix executes N scenarios concurrently: every scenario keeps
+// the sharded engine's determinism contract (per-scenario seeds via
+// rng stable derivation, simtime.ShardSet shards inside each
+// scenario) while all scenarios draw shard workers from one
+// simtime.WorkerPool, so matrix wall-clock cost is bounded however
+// wide the matrix is. A scenario's aggregates are bit-identical to
+// running it alone with the same seed (TestMatrixMatchesSolo).
+//
+// Artifacts (one canonical JSON file per scenario, WriteArtifacts)
+// support cross-run diffing; report.Comparative renders per-scenario
+// aggregate columns with deltas against the baseline column (class
+// tallies, §4.3 duration CDFs, §4.5 location tables).
+package scenario

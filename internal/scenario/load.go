@@ -1,0 +1,103 @@
+package scenario
+
+import (
+	"bytes"
+	"embed"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+//go:embed presets/*.toml
+var presetFS embed.FS
+
+// ParseJSON decodes and validates a scenario spec from JSON. Unknown
+// fields are rejected so typos fail loudly instead of silently
+// reverting an axis to the paper default.
+func ParseJSON(data []byte) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: bad JSON spec: %w", err)
+	}
+	// A second document in the stream is a malformed file, not data.
+	if dec.More() {
+		return Spec{}, fmt.Errorf("scenario: trailing data after JSON spec")
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// ParseTOML decodes and validates a scenario spec from the TOML
+// subset parseTOML documents. The parsed tree is re-encoded as JSON
+// and decoded through the same strict path as ParseJSON, so both
+// formats share one field set and one validator.
+func ParseTOML(data []byte) (Spec, error) {
+	tree, err := parseTOML(data)
+	if err != nil {
+		return Spec{}, fmt.Errorf("scenario: bad TOML spec: %w", err)
+	}
+	bridge, err := json.Marshal(tree)
+	if err != nil {
+		return Spec{}, fmt.Errorf("scenario: bad TOML spec: %w", err)
+	}
+	return ParseJSON(bridge)
+}
+
+// LoadFile reads a spec from a .toml or .json file.
+func LoadFile(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("scenario: %w", err)
+	}
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".toml":
+		return ParseTOML(data)
+	case ".json":
+		return ParseJSON(data)
+	default:
+		return Spec{}, fmt.Errorf("scenario: %s: unsupported extension (want .toml or .json)", path)
+	}
+}
+
+// PresetNames lists the embedded preset scenarios, sorted.
+func PresetNames() []string {
+	entries, err := presetFS.ReadDir("presets")
+	if err != nil {
+		return nil
+	}
+	out := make([]string, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, strings.TrimSuffix(e.Name(), ".toml"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Preset loads an embedded preset by name.
+func Preset(name string) (Spec, error) {
+	data, err := presetFS.ReadFile("presets/" + name + ".toml")
+	if err != nil {
+		return Spec{}, fmt.Errorf("scenario: unknown preset %q (have: %s)", name, strings.Join(PresetNames(), ", "))
+	}
+	s, err := ParseTOML(data)
+	if err != nil {
+		return Spec{}, fmt.Errorf("scenario: preset %q: %w", name, err)
+	}
+	return s, nil
+}
+
+// Resolve turns a CLI argument into a spec: a preset name if one
+// matches, otherwise a TOML/JSON file path.
+func Resolve(arg string) (Spec, error) {
+	if !strings.ContainsAny(arg, "./\\") {
+		return Preset(arg)
+	}
+	return LoadFile(arg)
+}

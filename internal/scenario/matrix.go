@@ -1,0 +1,190 @@
+package scenario
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/honeynet"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+// Options are the execution parameters of a scenario run. They shape
+// cost, never results: shards and scale keep the engine's
+// shard-count-invariance contract, and the worker budget only decides
+// how much of the matrix runs at once.
+type Options struct {
+	// BaseSeed seeds scenarios that don't pin their own. Zero is a
+	// valid seed, not a sentinel — whatever the caller passes is what
+	// SeedFor derives from, so reported base seeds always reproduce.
+	BaseSeed int64
+	// Shards is the per-scenario shard count (default 1).
+	Shards int
+	// Scale replicates each scenario's plan (default 1).
+	Scale int
+	// Workers is the matrix-wide worker budget shared by every
+	// concurrently running scenario (default NumCPU).
+	Workers int
+	// DaysOverride truncates every scenario's observation window (CI
+	// smoke and tests; 0 keeps each spec's own window).
+	DaysOverride int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	return o
+}
+
+// Result is one scenario's outcome: the merged aggregates every
+// report and artifact derives from, plus the run context needed to
+// render a full per-scenario report (group counts for Table 1, the
+// seeded contents and drop words for Table 2, the §4.7 counters).
+type Result struct {
+	Spec   Spec
+	Seed   int64
+	Shards int
+	Scale  int
+	// Err is set when the scenario failed to build or run; all other
+	// result fields are then zero.
+	Err error
+
+	Agg          *analysis.Aggregates
+	GroupCounts  map[int]int
+	Contents     map[string]map[int64]string
+	DropWords    []string
+	Blackmailers int
+	Inquiries    int
+	Events       uint64
+	Elapsed      time.Duration
+}
+
+// SeedFor derives the stable seed of scenario index of total from a
+// matrix base seed. The derivation is rng.ForkShard's, so it is a
+// pure function of (base, index, total): re-running one scenario
+// alone with the seed the matrix reports reproduces its aggregates
+// bit for bit (TestMatrixMatchesSolo).
+func SeedFor(base int64, index, total int) int64 {
+	return rng.New(base).ForkShard(index, total).Seed()
+}
+
+// Run executes one scenario alone with the given seed, drawing
+// workers from a private pool of opts.Workers.
+func Run(spec Spec, seed int64, opts Options) *Result {
+	opts = opts.withDefaults()
+	return runOne(spec, seed, opts, simtime.NewWorkerPool(opts.Workers))
+}
+
+// RunMatrix executes every scenario concurrently on one shared worker
+// budget and returns results in spec order. Scenario names must be
+// unique (they key report columns and artifact files). Individual
+// scenario failures land in Result.Err; the rest of the matrix still
+// completes.
+func RunMatrix(specs []Spec, opts Options) ([]*Result, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("scenario: empty matrix")
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		if seen[s.Name] {
+			return nil, fmt.Errorf("scenario: duplicate scenario %q in matrix", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	opts = opts.withDefaults()
+	pool := simtime.NewWorkerPool(opts.Workers)
+	results := make([]*Result, len(specs))
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		i, spec := i, spec
+		seed := SeedFor(opts.BaseSeed, i, len(specs))
+		if spec.Seed != nil {
+			seed = *spec.Seed
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i] = runOne(spec, seed, opts, pool)
+		}()
+	}
+	wg.Wait()
+	return results, nil
+}
+
+// runOne builds, runs and aggregates one scenario. Setup and Leak are
+// serial phases and hold one pool slot; the shard run draws slots per
+// shard via RunPooled. Everything observable is a pure function of
+// (spec, seed, scale) — the pool and shard count only shape
+// wall-clock time.
+func runOne(spec Spec, seed int64, opts Options, pool *simtime.WorkerPool) *Result {
+	// A spec-pinned seed overrides the caller's (Spec.Config applies
+	// the same rule); Result.Seed must report the seed that actually
+	// drove the run, or artifacts would carry unreproducible metadata.
+	if spec.Seed != nil {
+		seed = *spec.Seed
+	}
+	res := &Result{Spec: spec, Seed: seed, Shards: opts.Shards, Scale: opts.Scale}
+	fail := func(err error) *Result {
+		res.Err = err
+		return res
+	}
+	cfg, err := spec.Config(seed, opts.Shards, opts.Scale)
+	if err != nil {
+		return fail(err)
+	}
+	if opts.DaysOverride > 0 {
+		cfg.Duration = time.Duration(opts.DaysOverride) * 24 * time.Hour
+	}
+	start := time.Now()
+	exp, err := honeynet.New(cfg)
+	if err != nil {
+		return fail(fmt.Errorf("scenario %s: %w", spec.Name, err))
+	}
+	pool.Acquire()
+	err = exp.Setup()
+	if err == nil {
+		err = exp.Leak()
+	}
+	pool.Release()
+	if err != nil {
+		return fail(fmt.Errorf("scenario %s: %w", spec.Name, err))
+	}
+	if err := exp.RunPooled(pool); err != nil {
+		return fail(fmt.Errorf("scenario %s: %w", spec.Name, err))
+	}
+
+	var agg *analysis.Aggregates
+	if exp.StreamingEnabled() {
+		agg, err = exp.Aggregates()
+		if err != nil {
+			return fail(fmt.Errorf("scenario %s: %w", spec.Name, err))
+		}
+	} else {
+		agg = analysis.AggregatesFromDataset(exp.Dataset(), analysis.StreamConfig{})
+	}
+	res.Agg = agg
+	res.GroupCounts = map[int]int{}
+	for _, a := range exp.Assignments() {
+		res.GroupCounts[a.Group.ID]++
+	}
+	res.Contents = exp.SeededContents()
+	res.DropWords = exp.DropWords()
+	res.Blackmailers = exp.Blackmailers()
+	res.Inquiries = len(exp.AllInquiries())
+	res.Events = exp.ShardSet().Fired()
+	res.Elapsed = time.Since(start)
+	return res
+}

@@ -1,0 +1,60 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/honeynet"
+	"repro/internal/report"
+)
+
+// RenderFullReport renders a scenario result as the complete artifact
+// sequence cmd/honeynet prints for a single run (overview through
+// sophistication), from the merged aggregates alone. The output is a
+// pure function of the result, which is what lets the golden-report
+// corpus pin it byte for byte.
+func RenderFullReport(r *Result, resamples int) (string, error) {
+	if r == nil {
+		return "", fmt.Errorf("scenario: nil result")
+	}
+	if r.Err != nil {
+		return "", r.Err
+	}
+	agg := r.Agg
+	var b strings.Builder
+	section := func(id, body string) {
+		fmt.Fprintf(&b, "===== %s =====\n%s\n", id, body)
+	}
+	fmt.Fprintf(&b, "scenario %s (seed %d, scale %d)\n\n", r.Spec.Name, r.Seed, r.Scale)
+
+	section("overview", report.Overview(agg.Overview()))
+
+	ids := make([]int, 0, len(r.GroupCounts))
+	for id := range r.GroupCounts {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var rows []report.Table1Row
+	for _, id := range ids {
+		rows = append(rows, report.Table1Row{Group: id, Count: r.GroupCounts[id], Label: honeynet.PaperGroupLabel(id)})
+	}
+	section("table1", report.Table1(rows))
+
+	section("fig1", report.Figure1Sketches(agg.Durations))
+	section("fig2", report.Figure2(agg.PerOutlet))
+	section("fig3", report.Figure3Sketches(agg.TimeToAccess))
+	section("fig4", report.Figure4Buckets(agg.Timeline, agg.TimelineMax))
+	section("sysconfig", report.SystemConfig(agg.ConfigRows()))
+	section("fig5a", report.Figure5("UK/London", agg.MedianRadii(analysis.HintUK)))
+	section("fig5b", report.Figure5("US/Pontiac", agg.MedianRadii(analysis.HintUS)))
+	section("cvm", report.Significance(agg.LocationSignificance(resamples, r.Seed)))
+
+	kw := agg.KeywordInference(r.Contents, r.DropWords)
+	section("table2", report.Table2(kw.TopSearched(10), kw.TopCorpus(10)))
+
+	section("cases", report.CaseStudies(r.Blackmailers, len(agg.Drafts), r.Inquiries))
+	section("sophistication", report.Sophistication(agg.ConfigRows(), agg.LocationSignificance(resamples, r.Seed)))
+	return b.String(), nil
+}

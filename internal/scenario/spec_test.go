@@ -1,0 +1,231 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/honeynet"
+)
+
+// TestPresetsLoadAndValidate: every embedded preset parses through
+// the TOML loader, validates, and compiles to a honeynet config —
+// the catalog can never ship a broken scenario.
+func TestPresetsLoadAndValidate(t *testing.T) {
+	names := PresetNames()
+	if len(names) < 5 {
+		t.Fatalf("want at least 5 presets, have %d: %v", len(names), names)
+	}
+	for _, name := range names {
+		spec, err := Preset(name)
+		if err != nil {
+			t.Fatalf("preset %s: %v", name, err)
+		}
+		if spec.Name != name {
+			t.Fatalf("preset file %s declares name %q (must match filename)", name, spec.Name)
+		}
+		if spec.Description == "" {
+			t.Fatalf("preset %s has no description (the catalog table needs one)", name)
+		}
+		if _, err := spec.Config(1, 2, 1); err != nil {
+			t.Fatalf("preset %s does not compile: %v", name, err)
+		}
+	}
+}
+
+// TestBaselinePresetIsThePaper: the baseline preset compiles to the
+// paper's exact configuration (Table 1 plan, defaults everywhere).
+func TestBaselinePresetIsThePaper(t *testing.T) {
+	spec, err := Preset("baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := spec.Config(42, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := honeynet.Table1Plan()
+	if len(cfg.Plan) != len(want) {
+		t.Fatalf("baseline plan has %d blocks, Table 1 has %d", len(cfg.Plan), len(want))
+	}
+	for i := range want {
+		if cfg.Plan[i] != want[i] {
+			t.Fatalf("baseline plan block %d = %+v, want %+v", i, cfg.Plan[i], want[i])
+		}
+	}
+	if cfg.Populations != nil || cfg.Locale != nil || !cfg.Start.IsZero() || cfg.Duration != 0 {
+		t.Fatalf("baseline overrides an axis it should not: %+v", cfg)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	valid := func() Spec { return Spec{Name: "ok"} }
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+		want   string
+	}{
+		{"missing name", func(s *Spec) { s.Name = "" }, "missing name"},
+		{"bad name", func(s *Spec) { s.Name = "Bad Name" }, "bad name"},
+		{"negative days", func(s *Spec) { s.Days = -1 }, "negative days"},
+		{"bad leak date", func(s *Spec) { s.LeakDate = "June 25" }, "bad leak_date"},
+		{"tz out of range", func(s *Spec) { s.TimezoneOffsetHours = 20 }, "out of range"},
+		{"bad scan duration", func(s *Spec) { s.ScanEvery = "ten minutes" }, "bad scan_every"},
+		{"zero scrape duration", func(s *Spec) { s.ScrapeEvery = "0s" }, "bad scrape_every"},
+		{"unknown locale", func(s *Spec) { s.Locale = "tlh" }, "unknown locale"},
+		{"unknown channel", func(s *Spec) {
+			s.Plan = []BlockSpec{{ID: 1, Count: 5, Channel: "darkweb"}}
+		}, "unknown channel"},
+		{"unknown hint", func(s *Spec) {
+			s.Plan = []BlockSpec{{ID: 1, Count: 5, Channel: "paste", Hint: "mars"}}
+		}, "unknown hint"},
+		{"zero count", func(s *Spec) {
+			s.Plan = []BlockSpec{{ID: 1, Count: 0, Channel: "paste"}}
+		}, "count"},
+		{"malware hint", func(s *Spec) {
+			s.Plan = []BlockSpec{{ID: 5, Count: 5, Channel: "malware", Hint: "uk"}}
+		}, "malware"},
+		{"site without name", func(s *Spec) {
+			s.Sites = []SiteSpec{{Kind: "paste", PickupMeanDays: 1, MeanPickups: 1}}
+		}, "no name"},
+		{"duplicate site", func(s *Spec) {
+			s.Sites = []SiteSpec{
+				{Name: "x", Kind: "paste", PickupMeanDays: 1, MeanPickups: 1},
+				{Name: "x", Kind: "forum", PickupMeanDays: 1, MeanPickups: 1},
+			}
+		}, "duplicate site"},
+		{"bad site kind", func(s *Spec) {
+			s.Sites = []SiteSpec{{Name: "x", Kind: "irc", PickupMeanDays: 1, MeanPickups: 1}}
+		}, "unknown kind"},
+		{"zero pickup mean", func(s *Spec) {
+			s.Sites = []SiteSpec{{Name: "x", Kind: "paste", MeanPickups: 1}}
+		}, "pickup_mean_days"},
+		{"zero mean pickups", func(s *Spec) {
+			// Poisson(0) pickups would silently strand every credential
+			// posted to the site.
+			s.Sites = []SiteSpec{{Name: "x", Kind: "paste", PickupMeanDays: 1}}
+		}, "mean_pickups"},
+		{"uncovered channel", func(s *Spec) {
+			// Plan leaks to forums but the only site is a paste site.
+			s.Plan = []BlockSpec{{ID: 3, Count: 5, Channel: "forum"}}
+			s.Sites = []SiteSpec{{Name: "x", Kind: "paste", PickupMeanDays: 1, MeanPickups: 1}}
+		}, "no configured site serves"},
+		{"unknown calibration channel", func(s *Spec) {
+			s.Calibration = map[string]map[string]float64{"irc": {"tor_prob": 0.5}}
+		}, "unknown channel"},
+		{"unknown calibration field", func(s *Spec) {
+			s.Calibration = map[string]map[string]float64{"paste": {"luck": 0.5}}
+		}, "unknown field"},
+		{"probability out of range", func(s *Spec) {
+			s.Calibration = map[string]map[string]float64{"paste": {"tor_prob": 1.5}}
+		}, "out of range"},
+		{"negative rate", func(s *Spec) {
+			s.Calibration = map[string]map[string]float64{"forum": {"return_gap_days": -2}}
+		}, "non-negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := valid()
+			tc.mutate(&s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted %+v", s)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	s := valid()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("minimal spec rejected: %v", err)
+	}
+}
+
+// TestSpecConfigAppliesOverrides: every declarative axis lands on the
+// honeynet.Config field it claims to control.
+func TestSpecConfigAppliesOverrides(t *testing.T) {
+	seed := int64(99)
+	s := Spec{
+		Name:                "full",
+		Seed:                &seed,
+		Days:                90,
+		LeakDate:            "2016-01-10",
+		TimezoneOffsetHours: 3,
+		MailboxSize:         30,
+		ScanEvery:           "30m",
+		ScrapeEvery:         "2h",
+		VisibleScripts:      true,
+		DisableCaseStudies:  true,
+		Locale:              "de",
+		Plan:                []BlockSpec{{ID: 1, Count: 8, Channel: "paste", Hint: "uk"}},
+		Calibration:         map[string]map[string]float64{"paste": {"tor_prob": 0.9}},
+	}
+	cfg, err := s.Config(1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 99 {
+		t.Fatalf("spec seed not honoured: %d", cfg.Seed)
+	}
+	if cfg.Duration != 90*24*time.Hour {
+		t.Fatalf("days not applied: %v", cfg.Duration)
+	}
+	wantStart := time.Date(2016, 1, 10, 3, 0, 0, 0, time.UTC)
+	if !cfg.Start.Equal(wantStart) {
+		t.Fatalf("leak date + tz offset = %v, want %v", cfg.Start, wantStart)
+	}
+	if cfg.MailboxSize != 30 || cfg.ScanInterval != 30*time.Minute || cfg.ScrapeInterval != 2*time.Hour {
+		t.Fatalf("cadence overrides not applied: %+v", cfg)
+	}
+	if !cfg.VisibleScripts || !cfg.DisableCaseStudies {
+		t.Fatal("bool toggles not applied")
+	}
+	if cfg.Locale == nil || cfg.Locale.Name != "de" {
+		t.Fatalf("locale not applied: %+v", cfg.Locale)
+	}
+	if len(cfg.Plan) != 1 || cfg.Plan[0].Channel != analysis.OutletPaste || cfg.Plan[0].Hint != analysis.HintUK {
+		t.Fatalf("plan not applied: %+v", cfg.Plan)
+	}
+	if cfg.Populations == nil || cfg.Populations.Paste.TorProb != 0.9 {
+		t.Fatalf("calibration not applied: %+v", cfg.Populations)
+	}
+	// Untouched channels keep the paper defaults.
+	if cfg.Populations.Forum.TorProb != 0.22 {
+		t.Fatalf("calibration leaked into forum population: %+v", cfg.Populations.Forum)
+	}
+	if cfg.Shards != 2 || cfg.ScaleFactor != 3 {
+		t.Fatalf("execution parameters not threaded: %+v", cfg)
+	}
+}
+
+// TestParseJSONRejectsUnknownFields: a typoed axis must fail loudly,
+// not silently run the paper default.
+func TestParseJSONRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseJSON([]byte(`{"name": "x", "daays": 90}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := ParseJSON([]byte(`{"name": "x"} {"name": "y"}`)); err == nil {
+		t.Fatal("trailing document accepted")
+	}
+	if _, err := ParseTOML([]byte("name = \"x\"\ndaays = 90\n")); err == nil {
+		t.Fatal("unknown TOML key accepted")
+	}
+}
+
+// TestResolve: names hit presets, paths hit files, junk errors.
+func TestResolve(t *testing.T) {
+	if _, err := Resolve("baseline"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resolve("no-such-preset"); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	if _, err := Resolve("/no/such/file.toml"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, err := Resolve("file.yaml"); err == nil {
+		t.Fatal("unsupported extension accepted")
+	}
+}

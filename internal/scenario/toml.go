@@ -1,0 +1,281 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode/utf8"
+)
+
+// parseTOML decodes the small TOML subset scenario files use into a
+// generic map. Supported constructs:
+//
+//   - comments (#) and blank lines
+//   - [table] and [nested.table] headers
+//   - [[array.of.tables]] headers (the [[plan]] / [[sites]] blocks)
+//   - key = value with bare or dotted bare keys
+//   - values: basic "strings" (with \" \\ \n \t \r escapes),
+//     integers, floats, booleans, and single-line arrays of those
+//
+// Everything else — multi-line strings, inline tables, dates — is a
+// parse error, never a panic (FuzzLoadSpec holds the parser to that).
+// The result is post-processed by the JSON bridge in load.go, so the
+// dialect stays deliberately tiny: one canonical way to write every
+// field a Spec has.
+func parseTOML(data []byte) (map[string]any, error) {
+	if !utf8.Valid(data) {
+		return nil, fmt.Errorf("toml: input is not valid UTF-8")
+	}
+	root := map[string]any{}
+	current := root // table new keys land in
+	lines := strings.Split(string(data), "\n")
+	for i, raw := range lines {
+		line := strings.TrimSpace(stripComment(raw))
+		if line == "" {
+			continue
+		}
+		lineNo := i + 1
+		switch {
+		case strings.HasPrefix(line, "[["):
+			if !strings.HasSuffix(line, "]]") {
+				return nil, fmt.Errorf("toml line %d: unterminated [[table]] header", lineNo)
+			}
+			path, err := splitKeyPath(line[2 : len(line)-2])
+			if err != nil {
+				return nil, fmt.Errorf("toml line %d: %v", lineNo, err)
+			}
+			parent, err := descend(root, path[:len(path)-1])
+			if err != nil {
+				return nil, fmt.Errorf("toml line %d: %v", lineNo, err)
+			}
+			name := path[len(path)-1]
+			entry := map[string]any{}
+			switch existing := parent[name].(type) {
+			case nil:
+				parent[name] = []any{entry}
+			case []any:
+				parent[name] = append(existing, entry)
+			default:
+				return nil, fmt.Errorf("toml line %d: %q is not an array of tables", lineNo, name)
+			}
+			current = entry
+		case strings.HasPrefix(line, "["):
+			if !strings.HasSuffix(line, "]") {
+				return nil, fmt.Errorf("toml line %d: unterminated [table] header", lineNo)
+			}
+			path, err := splitKeyPath(line[1 : len(line)-1])
+			if err != nil {
+				return nil, fmt.Errorf("toml line %d: %v", lineNo, err)
+			}
+			tbl, err := descend(root, path)
+			if err != nil {
+				return nil, fmt.Errorf("toml line %d: %v", lineNo, err)
+			}
+			current = tbl
+		default:
+			eq := strings.Index(line, "=")
+			if eq < 0 {
+				return nil, fmt.Errorf("toml line %d: expected key = value", lineNo)
+			}
+			path, err := splitKeyPath(line[:eq])
+			if err != nil {
+				return nil, fmt.Errorf("toml line %d: %v", lineNo, err)
+			}
+			val, err := parseValue(strings.TrimSpace(line[eq+1:]))
+			if err != nil {
+				return nil, fmt.Errorf("toml line %d: %v", lineNo, err)
+			}
+			tbl, err := descend(current, path[:len(path)-1])
+			if err != nil {
+				return nil, fmt.Errorf("toml line %d: %v", lineNo, err)
+			}
+			name := path[len(path)-1]
+			if _, dup := tbl[name]; dup {
+				return nil, fmt.Errorf("toml line %d: duplicate key %q", lineNo, name)
+			}
+			tbl[name] = val
+		}
+	}
+	return root, nil
+}
+
+// stripComment removes a trailing # comment, respecting quotes.
+func stripComment(line string) string {
+	inString := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '\\':
+			if inString {
+				i++ // skip the escaped byte
+			}
+		case '"':
+			inString = !inString
+		case '#':
+			if !inString {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+// splitKeyPath parses a (possibly dotted) bare key path.
+func splitKeyPath(s string) ([]string, error) {
+	parts := strings.Split(strings.TrimSpace(s), ".")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("empty key segment in %q", s)
+		}
+		for _, r := range p {
+			if !(r == '_' || r == '-' ||
+				(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')) {
+				return nil, fmt.Errorf("bad character %q in key %q (bare keys only)", r, p)
+			}
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// descend walks (creating) nested tables along path.
+func descend(tbl map[string]any, path []string) (map[string]any, error) {
+	for _, name := range path {
+		switch next := tbl[name].(type) {
+		case nil:
+			m := map[string]any{}
+			tbl[name] = m
+			tbl = m
+		case map[string]any:
+			tbl = next
+		case []any:
+			// [x.y] after [[x]] targets the latest array entry.
+			if len(next) == 0 {
+				return nil, fmt.Errorf("%q is an empty array of tables", name)
+			}
+			last, ok := next[len(next)-1].(map[string]any)
+			if !ok {
+				return nil, fmt.Errorf("%q is not a table", name)
+			}
+			tbl = last
+		default:
+			return nil, fmt.Errorf("%q is not a table", name)
+		}
+	}
+	return tbl, nil
+}
+
+// parseValue decodes one scalar or single-line array literal.
+func parseValue(s string) (any, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing value")
+	}
+	switch {
+	case s == "true":
+		return true, nil
+	case s == "false":
+		return false, nil
+	case s[0] == '"':
+		v, rest, err := parseBasicString(s)
+		if err != nil {
+			return nil, err
+		}
+		if strings.TrimSpace(rest) != "" {
+			return nil, fmt.Errorf("trailing data %q after string", rest)
+		}
+		return v, nil
+	case s[0] == '[':
+		if !strings.HasSuffix(s, "]") {
+			return nil, fmt.Errorf("unterminated array %q (arrays must be single-line)", s)
+		}
+		return parseArray(s[1 : len(s)-1])
+	default:
+		if i, err := strconv.ParseInt(strings.ReplaceAll(s, "_", ""), 10, 64); err == nil {
+			return i, nil
+		}
+		if f, err := strconv.ParseFloat(strings.ReplaceAll(s, "_", ""), 64); err == nil {
+			return f, nil
+		}
+		return nil, fmt.Errorf("unsupported value %q", s)
+	}
+}
+
+// parseBasicString consumes a leading "..." literal, returning the
+// decoded string and the remainder of the input.
+func parseBasicString(s string) (string, string, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return b.String(), s[i+1:], nil
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", "", fmt.Errorf("dangling escape in %q", s)
+			}
+			switch s[i] {
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			default:
+				return "", "", fmt.Errorf("unsupported escape \\%c", s[i])
+			}
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated string %q", s)
+}
+
+// parseArray decodes a comma-separated list of scalars.
+func parseArray(body string) (any, error) {
+	out := []any{}
+	rest := strings.TrimSpace(body)
+	for rest != "" {
+		var (
+			v   any
+			err error
+		)
+		if rest[0] == '"' {
+			var s, tail string
+			s, tail, err = parseBasicString(rest)
+			if err != nil {
+				return nil, err
+			}
+			v, rest = s, strings.TrimSpace(tail)
+		} else {
+			end := strings.IndexByte(rest, ',')
+			tok := rest
+			if end >= 0 {
+				tok, rest = rest[:end], rest[end:]
+			} else {
+				rest = ""
+			}
+			v, err = parseValue(strings.TrimSpace(tok))
+			if err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, v)
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			break
+		}
+		if rest[0] != ',' {
+			return nil, fmt.Errorf("expected comma in array, got %q", rest)
+		}
+		rest = strings.TrimSpace(rest[1:])
+		if rest == "" {
+			return nil, fmt.Errorf("trailing comma in array")
+		}
+	}
+	return out, nil
+}

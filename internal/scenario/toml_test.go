@@ -1,0 +1,94 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseTOMLShapes(t *testing.T) {
+	src := `
+# top-level scalars
+name = "demo"            # trailing comment
+days = 90
+ratio = 0.5
+flag = true
+words = ["a", "b,c", 3]
+
+[calibration.paste]
+spammer_prob = 0.15
+
+[[plan]]
+id = 1
+count = 20
+channel = "paste"
+
+[[plan]]
+id = 2
+count = 10
+channel = "forum"
+hint = "uk"
+`
+	got, err := parseTOML([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"name":  "demo",
+		"days":  int64(90),
+		"ratio": 0.5,
+		"flag":  true,
+		"words": []any{"a", "b,c", int64(3)},
+		"calibration": map[string]any{
+			"paste": map[string]any{"spammer_prob": 0.15},
+		},
+		"plan": []any{
+			map[string]any{"id": int64(1), "count": int64(20), "channel": "paste"},
+			map[string]any{"id": int64(2), "count": int64(10), "channel": "forum", "hint": "uk"},
+		},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parse mismatch:\n got %#v\nwant %#v", got, want)
+	}
+}
+
+func TestParseTOMLErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"no equals", "name\n", "expected key = value"},
+		{"unterminated string", `name = "oops`, "unterminated string"},
+		{"unterminated header", "[plan\n", "unterminated [table] header"},
+		{"unterminated aot", "[[plan\n", "unterminated [[table]] header"},
+		{"bad key char", "na me = 1\n", "bad character"},
+		{"duplicate key", "a = 1\na = 2\n", "duplicate key"},
+		{"empty segment", "a..b = 1\n", "empty key segment"},
+		{"bad value", "a = nope\n", "unsupported value"},
+		{"dangling escape", `a = "x\`, "dangling escape"},
+		{"bad escape", `a = "x\q"`, "unsupported escape"},
+		{"multiline array", "a = [1,\n2]\n", "unterminated array"},
+		{"trailing comma", "a = [1, ]\n", "trailing comma"},
+		{"scalar as table", "a = 1\n[a]\nb = 2\n", "not a table"},
+		{"scalar as aot", "a = 1\n[[a]]\n", "not an array of tables"},
+		{"not utf8", "a = \"\xff\xfe\"\n", "not valid UTF-8"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseTOML([]byte(tc.src))
+			if err == nil {
+				t.Fatalf("parse accepted %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestStripCommentRespectsStrings(t *testing.T) {
+	if got := stripComment(`k = "a # b" # real`); got != `k = "a # b" ` {
+		t.Fatalf("stripComment = %q", got)
+	}
+}

@@ -48,6 +48,67 @@ func (ss *ShardSet) Pending() int {
 	return n
 }
 
+// WorkerPool is a counted budget of simulation workers shared by any
+// number of ShardSets. The scenario matrix engine hands one pool to
+// every concurrently running scenario so the whole matrix never
+// drives more than n shard schedulers at once, however many scenarios
+// × shards it fans out. Acquire/Release are also used directly to
+// gate serial phases (scenario Setup/Leak) on the same budget.
+type WorkerPool struct {
+	sem chan struct{}
+}
+
+// NewWorkerPool builds a pool of n workers (n <= 0 selects 1).
+func NewWorkerPool(n int) *WorkerPool {
+	if n <= 0 {
+		n = 1
+	}
+	return &WorkerPool{sem: make(chan struct{}, n)}
+}
+
+// Size returns the pool's worker budget.
+func (p *WorkerPool) Size() int { return cap(p.sem) }
+
+// Acquire blocks until a worker slot is free and claims it.
+func (p *WorkerPool) Acquire() { p.sem <- struct{}{} }
+
+// Release returns a claimed slot to the pool.
+func (p *WorkerPool) Release() { <-p.sem }
+
+// RunUntilPool advances every shard to the common deadline like
+// RunUntil, but draws its concurrency from a shared WorkerPool
+// instead of spawning a private worker count: each shard runs on its
+// own goroutine that first claims a pool slot, so concurrently
+// running ShardSets (one per scenario in a matrix) jointly respect
+// one budget. A nil pool falls back to RunUntil with one worker per
+// shard. The executed-event total is returned; because shards share
+// no mutable state, results are identical however slots interleave.
+func (ss *ShardSet) RunUntilPool(deadline time.Time, pool *WorkerPool) int {
+	if pool == nil {
+		return ss.RunUntil(deadline, 0)
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		total int
+	)
+	for _, s := range ss.scheds {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pool.Acquire()
+			defer pool.Release()
+			ran := s.RunUntil(deadline)
+			mu.Lock()
+			total += ran
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
 // RunUntil advances every shard to the common deadline, spawning at
 // most workers goroutines (workers <= 0 or >= len selects one
 // goroutine per shard). It returns the total number of events

@@ -2,23 +2,25 @@
 # bench_snapshot.sh — record the perf trajectory of the sharded engine.
 #
 # Runs the end-to-end scaling benchmarks once each and writes
-# BENCH_PR3.json at the repo root: one record per benchmark with the
+# BENCH_PR4.json at the repo root: one record per benchmark with the
 # (shards, scale) point and wall-clock seconds, plus the CPU string so
-# numbers are only compared on comparable hardware.
+# numbers are only compared on comparable hardware. PR 4 adds the
+# scenario matrix benchmark (five presets on a shared worker budget)
+# to the recorded trajectory.
 #
 # Usage: scripts/bench_snapshot.sh [output.json]
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_PR3.json}"
+out="${1:-BENCH_PR4.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -bench 'BenchmarkShardedRun|BenchmarkStreamingRun' -benchtime 1x -run '^$' . | tee "$raw" >&2
+go test -bench 'BenchmarkShardedRun|BenchmarkStreamingRun|BenchmarkMatrixRun' -benchtime 1x -run '^$' . | tee "$raw" >&2
 
 awk -v out="$out" '
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
-/^Benchmark(ShardedRun|StreamingRun)/ {
+/^Benchmark(ShardedRun|StreamingRun|MatrixRun)/ {
     name = $1
     # Trim the trailing -GOMAXPROCS suffix go test appends.
     sub(/-[0-9]+$/, "", name)
@@ -32,7 +34,7 @@ awk -v out="$out" '
 }
 END {
     if (n == 0) { print "bench_snapshot: no benchmark lines parsed" > "/dev/stderr"; exit 1 }
-    printf "{\n  \"pr\": 3,\n  \"cpu\": \"%s\",\n  \"benchtime\": \"1x\",\n  \"benchmarks\": [\n", cpu > out
+    printf "{\n  \"pr\": 4,\n  \"cpu\": \"%s\",\n  \"benchtime\": \"1x\",\n  \"benchmarks\": [\n", cpu > out
     for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "") > out
     printf "  ]\n}\n" > out
 }' "$raw"
