@@ -26,6 +26,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/scenario"
 	"repro/internal/simtime"
+	"repro/internal/snapshot"
 	"repro/internal/webmail"
 )
 
@@ -569,6 +570,105 @@ func BenchmarkMatrixRun(b *testing.B) {
 			}
 		}
 	}
+}
+
+// BenchmarkMatrixWarmStart measures what snapshot forking saves on
+// BenchmarkMatrixRun's exact workload: the five presets share one
+// setup phase (same accounts, leak date, mailbox size, locale), so
+// the warm path simulates it once, freezes it through the binary
+// codec and forks every scenario from the decoded snapshot, while
+// the cold path re-simulates all five setups. Artifacts are
+// byte-identical either way (TestMatrixWarmStartMatchesCold); only
+// wall-clock differs.
+func BenchmarkMatrixWarmStart(b *testing.B) {
+	names := []string{"baseline", "paste-only", "forum-only", "malware-heavy", "spam-wave"}
+	var specs []scenario.Spec
+	for _, n := range names {
+		s, err := scenario.Preset(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		specs = append(specs, s)
+	}
+	for _, load := range []struct {
+		name    string
+		days    int
+		mailbox int
+	}{
+		// BenchmarkMatrixRun's exact workload: 60-day windows, the
+		// paper's 90-message mailboxes. Setup is ~15% of a scenario.
+		{"paper/days=60", 60, 0},
+		// A setup-dominated matrix: wide mailboxes scanned over a
+		// short window — the shape of corpus-heavy what-if sweeps,
+		// where the shared prefix is most of the work.
+		{"wide-mailbox/days=14", 14, 360},
+	} {
+		loaded := make([]scenario.Spec, len(specs))
+		for i, s := range specs {
+			s.MailboxSize = load.mailbox
+			loaded[i] = s
+		}
+		for _, mode := range []struct {
+			name string
+			cold bool
+		}{{"cold", true}, {"warm", false}} {
+			b.Run(load.name+"/"+mode.name, func(b *testing.B) {
+				opts := scenario.Options{BaseSeed: 42, Shards: 2, Scale: 1, DaysOverride: load.days, ColdStart: mode.cold}
+				for i := 0; i < b.N; i++ {
+					results, err := scenario.RunMatrix(loaded, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, r := range results {
+						if r.Err != nil {
+							b.Fatal(r.Err)
+						}
+						if r.WarmStarted == mode.cold {
+							b.Fatalf("scenario %s: WarmStarted=%v in %s mode", r.Spec.Name, r.WarmStarted, mode.name)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSnapshotRoundTrip isolates the snapshot engine itself on
+// the paper-scale deployment: freeze the post-setup state, encode it
+// through the binary codec, decode, and resume a runnable experiment
+// — the fixed cost a warm-started scenario pays instead of
+// re-simulating its setup phase.
+func BenchmarkSnapshotRoundTrip(b *testing.B) {
+	exp, err := honeynet.New(honeynet.Config{Seed: 42, Shards: 2, SetupSeed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := exp.Setup(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var bytesOut int
+	for i := 0; i < b.N; i++ {
+		st, err := exp.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		data := st.Encode()
+		bytesOut = len(data)
+		decoded, err := snapshot.Decode(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resumed, err := honeynet.ResumeWith(decoded, exp.Config())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resumed.Shards() != exp.Shards() {
+			b.Fatal("resumed shard count drifted")
+		}
+	}
+	b.ReportMetric(float64(bytesOut), "snapshot-bytes")
 }
 
 // BenchmarkStreamingRun isolates the analysis phase the streaming

@@ -25,13 +25,20 @@ import (
 	"testing"
 
 	"repro/internal/analysis"
+	core "repro/internal/honeynet"
 	"repro/internal/scenario"
 )
 
-// conformanceRun executes the baseline preset exactly as the paper
-// ran it: Table 1 plan, 236 days, seed 42 (the repo's canonical demo
-// seed), sharded for speed (results are shard-count invariant). The
-// run is cached so every conformance test shares one simulation.
+// conformanceRun executes the paper's deployment exactly as the
+// engine's default path runs it: Table 1 plan, 236 days, seed 42
+// (the repo's canonical demo seed) in the legacy stream layout,
+// sharded for speed (results are shard-count invariant). It drives
+// honeynet directly rather than the scenario layer so the conformance
+// numbers are pinned to the engine's stable default streams — the
+// scenario layer rebases setup onto derived SetupSeed streams (see
+// scenario.SetupSeedFor), which is a different, equally valid draw of
+// the same distributions. The run is cached so every conformance test
+// shares one simulation.
 var conformanceCache struct {
 	once sync.Once
 	res  *scenario.Result
@@ -41,15 +48,24 @@ var conformanceCache struct {
 func conformanceRun(t *testing.T) *scenario.Result {
 	t.Helper()
 	conformanceCache.once.Do(func() {
-		spec, err := scenario.Preset("baseline")
+		fail := func(err error) { conformanceCache.err = err }
+		exp, err := core.New(core.Config{Seed: 42, Shards: 4})
 		if err != nil {
-			conformanceCache.err = err
+			fail(err)
 			return
 		}
-		res := scenario.Run(spec, 42, scenario.Options{Shards: 4, Workers: 4})
-		if res.Err != nil {
-			conformanceCache.err = res.Err
+		if err := exp.RunAll(); err != nil {
+			fail(err)
 			return
+		}
+		agg, err := exp.Aggregates()
+		if err != nil {
+			fail(err)
+			return
+		}
+		res := &scenario.Result{Seed: 42, Shards: 4, Scale: 1, Agg: agg, GroupCounts: map[int]int{}}
+		for _, a := range exp.Assignments() {
+			res.GroupCounts[a.Group.ID]++
 		}
 		conformanceCache.res = res
 	})

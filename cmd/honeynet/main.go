@@ -6,8 +6,10 @@
 //
 //	honeynet [-seed N] [-days N] [-experiment id] [-resamples N]
 //	         [-shards N] [-scale K] [-stream=bool] [-dirty-tracking=bool]
+//	         [-setup-seed N] [-checkpoint file] [-resume file]
 //	honeynet -scenario <name|file> [-out dir] [...]
-//	honeynet -matrix <name|file>[,<name|file>...] [-out dir] [-workers N] [...]
+//	honeynet -matrix <name|file>[,<name|file>...] [-out dir] [-workers N]
+//	         [-warm-start=bool] [...]
 //
 // Experiment ids: overview, table1, fig1, fig2, fig3, fig4, fig5a,
 // fig5b, cvm, table2, sysconfig, cases, sophistication, all.
@@ -25,15 +27,28 @@
 // scrape-everything behaviour (identical reports, much slower at
 // scale).
 //
+// -checkpoint freezes the experiment at its post-setup boundary
+// (accounts created, mailboxes seeded, monitoring armed, nothing run)
+// into a deterministic snapshot file, then continues the run.
+// -resume loads such a snapshot instead of re-simulating setup; the
+// post-fork flags (-seed, -days, -shards, -stream, -dirty-tracking)
+// may be re-specified to diverge from the checkpointed run —
+// -setup-seed N gives setup its own seed stream so different -seed
+// values can fork the same accounts. A resumed run renders
+// byte-identically to an uninterrupted one (TestSnapshotInvariance).
+//
 // -scenario runs one declarative experiment variant (an embedded
 // preset name such as "baseline" or "paste-only", or a TOML/JSON spec
 // file) and prints its full report. -matrix runs several variants
 // concurrently on one worker budget (-workers, default NumCPU) and
 // prints the comparative report: one column per scenario, deltas
-// against the first column. -out writes one canonical JSON aggregate
-// artifact per scenario for cross-run diffing. With -scenario/-matrix
-// the -days flag only overrides the specs' windows when set
-// explicitly.
+// against the first column. Scenarios whose setup phases agree are
+// warm-started from one shared snapshot (-warm-start=false simulates
+// every setup; identical output either way). -out writes one
+// canonical JSON aggregate artifact per scenario for cross-run
+// diffing; the directory is created (and failures reported, non-zero)
+// before any simulation starts. With -scenario/-matrix the -days
+// flag only overrides the specs' windows when set explicitly.
 package main
 
 import (
@@ -49,6 +64,7 @@ import (
 	"repro/internal/honeynet"
 	"repro/internal/report"
 	"repro/internal/scenario"
+	"repro/internal/snapshot"
 )
 
 func main() {
@@ -65,6 +81,10 @@ func main() {
 		matrix     = flag.String("matrix", "", "comma-separated scenarios to run concurrently and compare (first is the baseline column)")
 		outDir     = flag.String("out", "", "directory for per-scenario JSON aggregate artifacts")
 		workers    = flag.Int("workers", 0, "matrix-wide worker budget shared by all scenarios (0 = one per CPU)")
+		setupSeed  = flag.Int64("setup-seed", 0, "give the setup phase its own seed stream so -resume can fork the same accounts under different -seed values (0 = setup shares the experiment seed)")
+		checkpoint = flag.String("checkpoint", "", "write a post-setup snapshot to this file, then continue the run")
+		resumeFile = flag.String("resume", "", "resume from a post-setup snapshot file instead of re-simulating setup")
+		warmStart  = flag.Bool("warm-start", true, "fork matrix scenarios that share a setup phase from one snapshot (false = simulate every setup; identical output)")
 	)
 	flag.Parse()
 
@@ -76,6 +96,9 @@ func main() {
 	}
 
 	if *scen != "" || *matrix != "" {
+		if *checkpoint != "" || *resumeFile != "" {
+			log.Fatal("-checkpoint/-resume apply to the plain experiment; scenario matrices checkpoint their shared setups automatically (see -warm-start)")
+		}
 		daysExplicit := false
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "days" {
@@ -83,10 +106,11 @@ func main() {
 			}
 		})
 		opts := scenario.Options{
-			BaseSeed: *seed,
-			Shards:   *shards,
-			Scale:    *scale,
-			Workers:  *workers,
+			BaseSeed:  *seed,
+			Shards:    *shards,
+			Scale:     *scale,
+			Workers:   *workers,
+			ColdStart: !*warmStart,
 		}
 		if daysExplicit {
 			opts.DaysOverride = *days
@@ -94,6 +118,8 @@ func main() {
 		if *scen != "" && *matrix != "" {
 			log.Fatal("use either -scenario or -matrix, not both")
 		}
+		// Surface a broken -out before minutes of simulation, not after.
+		prepareOutDir(*outDir)
 		if *scen != "" {
 			runScenario(*scen, opts, *resamples, *outDir)
 		} else {
@@ -101,26 +127,107 @@ func main() {
 		}
 		return
 	}
-	exp, err := honeynet.New(honeynet.Config{
-		Seed:                 *seed,
-		Duration:             time.Duration(*days) * 24 * time.Hour,
-		Shards:               *shards,
-		ScaleFactor:          *scale,
-		DisableStreaming:     !*stream,
-		DisableDirtyTracking: !*dirty,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
+
+	var exp *honeynet.Experiment
 	mode := "streaming"
 	if !*stream {
 		mode = "batch"
 	}
-	fmt.Fprintf(os.Stderr, "running %d-day deployment (seed %d, %d shard(s), scale %d×, %s)...\n",
-		*days, *seed, exp.Shards(), *scale, mode)
 	start := time.Now()
-	if err := exp.RunAll(); err != nil {
-		log.Fatal(err)
+	if *resumeFile != "" {
+		if *checkpoint != "" {
+			// A resumed run is already past the post-setup boundary;
+			// silently skipping the write would strand the user
+			// without the file they asked for.
+			log.Fatal("-checkpoint cannot be combined with -resume: the snapshot freezes the post-setup boundary, which a resumed run has already crossed (re-run with -checkpoint alone to produce one)")
+		}
+		st, err := snapshot.ReadFile(*resumeFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if st.Config.CustomSites || st.Config.CustomPopulations || st.Config.CustomLocale {
+			log.Fatal("honeynet: snapshot depends on a scenario-provided outlet catalogue, calibration or locale; re-run the scenario matrix instead (its warm starts resume such snapshots)")
+		}
+		cfg, err := honeynet.ConfigFromSnapshot(st)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Explicitly-set flags override the snapshot's post-fork
+		// fields; setup-relevant fields stay fingerprint-pinned
+		// (ResumeWith rejects mismatches).
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "seed":
+				cfg.Seed = *seed
+			case "setup-seed":
+				cfg.SetupSeed = *setupSeed
+			case "days":
+				cfg.Duration = time.Duration(*days) * 24 * time.Hour
+			case "shards":
+				cfg.Shards = *shards
+			case "scale":
+				cfg.ScaleFactor = *scale
+			case "stream":
+				cfg.DisableStreaming = !*stream
+			case "dirty-tracking":
+				cfg.DisableDirtyTracking = !*dirty
+			}
+		})
+		exp, err = honeynet.ResumeWith(st, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The snapshot (possibly flag-overridden) decides the engine
+		// mode from here on, not the -stream flag default.
+		if cfg.DisableStreaming {
+			mode = "batch"
+		} else {
+			mode = "streaming"
+		}
+		fmt.Fprintf(os.Stderr, "resumed %d accounts from %s (seed %d, %d shard(s), %s)...\n",
+			len(st.Accounts), *resumeFile, cfg.Seed, exp.Shards(), mode)
+		if err := exp.Leak(); err != nil {
+			log.Fatal(err)
+		}
+		if err := exp.Run(); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		var err error
+		exp, err = honeynet.New(honeynet.Config{
+			Seed:                 *seed,
+			SetupSeed:            *setupSeed,
+			Duration:             time.Duration(*days) * 24 * time.Hour,
+			Shards:               *shards,
+			ScaleFactor:          *scale,
+			DisableStreaming:     !*stream,
+			DisableDirtyTracking: !*dirty,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "running %d-day deployment (seed %d, %d shard(s), scale %d×, %s)...\n",
+			*days, *seed, exp.Shards(), *scale, mode)
+		if err := exp.Setup(); err != nil {
+			log.Fatal(err)
+		}
+		if *checkpoint != "" {
+			st, err := exp.Snapshot()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := st.WriteFile(*checkpoint); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "post-setup checkpoint written to %s (%d accounts)\n",
+				*checkpoint, len(st.Accounts))
+		}
+		if err := exp.Leak(); err != nil {
+			log.Fatal(err)
+		}
+		if err := exp.Run(); err != nil {
+			log.Fatal(err)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "done in %v (%d events)\n\n",
 		time.Since(start).Round(time.Millisecond), exp.ShardSet().Fired())
@@ -142,8 +249,15 @@ func main() {
 		return report.CaseStudies(exp.Blackmailers(), draftCopies, len(exp.AllInquiries()))
 	}
 
+	// Render from the experiment's effective config: a resumed run's
+	// engine mode and seed come from the snapshot (determinism
+	// guarantee #5 — the resumed report must byte-match the
+	// uninterrupted run), not from this process's flag defaults.
+	runCfg := exp.Config()
+	sigSeed := runCfg.Seed
+
 	var sections map[string]func() string
-	if *stream {
+	if !runCfg.DisableStreaming {
 		// Streaming: every shard classified its accesses as the run
 		// advanced; merge the per-shard aggregates (O(shards)) and
 		// render from them — no merged dataset is ever materialised.
@@ -160,7 +274,7 @@ func main() {
 			"fig4":      func() string { return report.Figure4Buckets(agg.Timeline, agg.TimelineMax) },
 			"fig5a":     func() string { return report.Figure5("UK/London", agg.MedianRadii(analysis.HintUK)) },
 			"fig5b":     func() string { return report.Figure5("US/Pontiac", agg.MedianRadii(analysis.HintUS)) },
-			"cvm":       func() string { return report.Significance(agg.LocationSignificance(*resamples, *seed)) },
+			"cvm":       func() string { return report.Significance(agg.LocationSignificance(*resamples, sigSeed)) },
 			"sysconfig": func() string { return report.SystemConfig(agg.ConfigRows()) },
 			"table2": func() string {
 				r := agg.KeywordInference(exp.SeededContents(), exp.DropWords())
@@ -168,7 +282,7 @@ func main() {
 			},
 			"cases": func() string { return cases(len(agg.Drafts)) },
 			"sophistication": func() string {
-				return report.Sophistication(agg.ConfigRows(), agg.LocationSignificance(*resamples, *seed))
+				return report.Sophistication(agg.ConfigRows(), agg.LocationSignificance(*resamples, sigSeed))
 			},
 		}
 	} else {
@@ -183,7 +297,7 @@ func main() {
 			"fig4":      func() string { return report.Figure4(analysis.Timeline(ds)) },
 			"fig5a":     func() string { return report.Figure5("UK/London", analysis.MedianRadii(ds, analysis.HintUK)) },
 			"fig5b":     func() string { return report.Figure5("US/Pontiac", analysis.MedianRadii(ds, analysis.HintUS)) },
-			"cvm":       func() string { return report.Significance(analysis.LocationSignificance(ds, *resamples, *seed)) },
+			"cvm":       func() string { return report.Significance(analysis.LocationSignificance(ds, *resamples, sigSeed)) },
 			"sysconfig": func() string { return report.SystemConfig(analysis.SystemConfiguration(ds)) },
 			"table2": func() string {
 				r := analysis.KeywordInference(ds, exp.DropWords())
@@ -201,7 +315,7 @@ func main() {
 			"sophistication": func() string {
 				return report.Sophistication(
 					analysis.SystemConfiguration(ds),
-					analysis.LocationSignificance(ds, *resamples, *seed))
+					analysis.LocationSignificance(ds, *resamples, sigSeed))
 			},
 		}
 	}
@@ -300,6 +414,25 @@ func runMatrix(args []string, opts scenario.Options, outDir string) {
 	}
 }
 
+// prepareOutDir creates the artifact directory up front so a bad
+// -out path fails the invocation immediately instead of after the
+// whole matrix has simulated. (The old behaviour surfaced the error
+// only at write time; a mid-matrix failure could leave partial
+// artifacts behind a zero exit for the scenarios already written.)
+func prepareOutDir(dir string) {
+	if dir == "" {
+		return
+	}
+	// MkdirAll covers every failure mode, including any path
+	// component (the leaf too) existing as a non-directory.
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatalf("-out %s: %v", dir, err)
+	}
+}
+
+// writeArtifacts writes one JSON artifact per successful result and
+// exits non-zero unless every successful scenario produced one — a
+// partial artifact directory must never look like a clean run.
 func writeArtifacts(outDir string, results []*scenario.Result) {
 	if outDir == "" {
 		return
@@ -307,6 +440,15 @@ func writeArtifacts(outDir string, results []*scenario.Result) {
 	paths, err := scenario.WriteArtifacts(outDir, results)
 	if err != nil {
 		log.Fatal(err)
+	}
+	want := 0
+	for _, r := range results {
+		if r != nil && r.Err == nil {
+			want++
+		}
+	}
+	if len(paths) != want {
+		log.Fatalf("-out %s: wrote %d artifact(s) for %d successful scenario(s)", outDir, len(paths), want)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d artifact(s) to %s\n", len(paths), outDir)
 }

@@ -85,6 +85,16 @@ type Config struct {
 	// domain) the honey personas are drawn from; nil selects the
 	// seed deployment's English pool.
 	Locale *corpus.Locale
+	// SetupSeed, when non-zero, drives the setup phase (personas,
+	// mailbox corpora, passwords) from its own stream instead of the
+	// experiment root stream. Experiments sharing a SetupSeed (and the
+	// other setup-relevant fields — see SetupFingerprint) produce
+	// identical honey accounts while their Seed-driven attacker and
+	// outlet streams diverge: the warm-started scenario matrix runs
+	// the shared setup once and forks every variant from its snapshot.
+	// Zero keeps the legacy layout, where setup draws from the root
+	// stream and the default path stays byte-identical.
+	SetupSeed int64
 }
 
 // DefaultStart is the paper's leak date, 2015-06-25 (§3.2) — the
@@ -148,6 +158,11 @@ type Experiment struct {
 
 	setupDone bool
 	leaked    bool
+
+	// setupPos is the setup stream's final draw position, recorded at
+	// the end of Setup for the snapshot's stream section (the setup
+	// stream itself is not needed again — accounts are data by then).
+	setupPos uint64
 
 	agg *analysis.Aggregates // cached merged streaming aggregates
 }
@@ -220,6 +235,11 @@ func (e *Experiment) ShardSet() *simtime.ShardSet  { return e.set }
 
 // Plan returns the expanded (scale-applied) plan the experiment runs.
 func (e *Experiment) Plan() []GroupSpec { return append([]GroupSpec(nil), e.plan...) }
+
+// Config returns the experiment's configuration with defaults
+// applied — the exact config a snapshot of this experiment resumes
+// under (ResumeWith takes it, or a post-fork variation of it).
+func (e *Experiment) Config() Config { return e.cfg }
 
 // Installed reports whether an account still has a live monitoring
 // script (routed to the owning shard's Apps-Script runtime).
@@ -295,10 +315,23 @@ func (e *Experiment) Sinkholed() []sinkhole.StoredMail {
 	return out
 }
 
+// setupSeed returns the seed that drives the setup phase: SetupSeed
+// when the split layout is selected, the root seed otherwise.
+func (c Config) setupSeed() int64 {
+	if c.SetupSeed != 0 {
+		return c.SetupSeed
+	}
+	return c.Seed
+}
+
 // Setup creates, seeds and instruments the honey accounts (§3.2
 // "Honey account setup"), and starts the monitoring pipeline. Setup
 // is serial and draws from experiment-global streams in plan order,
-// so its output is independent of the shard count.
+// so its output is independent of the shard count. With
+// Config.SetupSeed set, every setup draw comes from that seed's own
+// stream, making the produced accounts a pure function of the
+// setup-relevant configuration (see SetupFingerprint) — the property
+// the snapshot warm-start forks rely on.
 func (e *Experiment) Setup() error {
 	if e.setupDone {
 		return fmt.Errorf("honeynet: Setup called twice")
@@ -308,8 +341,12 @@ func (e *Experiment) Setup() error {
 	if e.cfg.Locale != nil {
 		locale = *e.cfg.Locale
 	}
-	personas := corpus.NewPersonasLocale(e.src.ForkNamed("personas"), n, locale)
-	gen := corpus.NewGenerator(e.src.ForkNamed("corpus"), corpus.DefaultConfig())
+	setupSrc := e.src // legacy layout: setup shares the root stream
+	if e.cfg.SetupSeed != 0 {
+		setupSrc = rng.New(e.cfg.SetupSeed)
+	}
+	personas := corpus.NewPersonasLocale(setupSrc.ForkNamed("personas"), n, locale)
+	gen := corpus.NewGenerator(setupSrc.ForkNamed("corpus"), corpus.DefaultConfig())
 
 	seedStart := e.cfg.Start.Add(-180 * 24 * time.Hour)
 	idx := 0
@@ -318,7 +355,7 @@ func (e *Experiment) Setup() error {
 		for i := 0; i < b.spec.Count; i++ {
 			p := personas[idx]
 			idx++
-			password := fmt.Sprintf("hp-%08x", e.src.Int63()&0xffffffff)
+			password := fmt.Sprintf("hp-%08x", setupSrc.Int63()&0xffffffff)
 			if err := e.svc.CreateAccountIn(b.shard.id, p.Email, password, p.FullName()); err != nil {
 				return fmt.Errorf("honeynet: create %s: %w", p.Email, err)
 			}
@@ -340,26 +377,46 @@ func (e *Experiment) Setup() error {
 				}
 				e.contents[p.Email][int64(id)] = m.Subject + "\n" + m.Body
 			}
-			// Install the monitoring script on the owning shard.
-			opts := appscript.Options{
-				ScanInterval: e.cfg.ScanInterval,
-				Hidden:       !e.cfg.VisibleScripts,
-			}
-			if err := b.shard.runtime.Install(p.Email, opts); err != nil {
+			// Install the monitoring script on the owning shard and
+			// register the account for scraping.
+			if err := e.instrument(b, p.Email, password); err != nil {
 				return err
 			}
-			b.shard.mon.Track(p.Email, password)
-			e.handles = append(e.handles, p.Handle())
-			e.blockOf[p.Email] = b
-			e.assignments = append(e.assignments, Assignment{Account: p.Email, Password: password, Group: b.spec})
+			e.register(b, p.Email, password, p.Handle())
 		}
 		b.end = idx
 	}
 	for _, sh := range e.shards {
 		sh.mon.Start(e.cfg.ScrapeInterval)
 	}
+	e.setupPos = setupSrc.Pos()
 	e.setupDone = true
 	return nil
+}
+
+// instrument attaches the monitoring pipeline to one account: the
+// Apps-Script scan/heartbeat triggers and the activity-page scraper.
+// The scheduler-visible operation order here is what makes a resumed
+// experiment re-arm into byte-identical trigger state, so Setup and
+// the snapshot restore path share this exact sequence.
+func (e *Experiment) instrument(b *block, email, password string) error {
+	opts := appscript.Options{
+		ScanInterval: e.cfg.ScanInterval,
+		Hidden:       !e.cfg.VisibleScripts,
+	}
+	if err := b.shard.runtime.Install(email, opts); err != nil {
+		return err
+	}
+	b.shard.mon.Track(email, password)
+	return nil
+}
+
+// register records the account's plan bookkeeping (shared by Setup
+// and the snapshot restore path).
+func (e *Experiment) register(b *block, email, password, handle string) {
+	e.handles = append(e.handles, handle)
+	e.blockOf[email] = b
+	e.assignments = append(e.assignments, Assignment{Account: email, Password: password, Group: b.spec})
 }
 
 // Leak publishes every account's credentials through its block's

@@ -297,6 +297,20 @@ func (m *Monitor) Track(account, password string) {
 	m.stale = true // invalidate the cached scrape order
 }
 
+// Cursors returns every tracked account's scrape cursor — the
+// account accessVersion after the scraper's previous visit. The
+// snapshot engine serializes these and verifies that a resumed
+// monitor re-tracks into identical cursor state.
+func (m *Monitor) Cursors() map[string]uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]uint64, len(m.tracked))
+	for account, t := range m.tracked {
+		out[account] = t.lastSeen
+	}
+	return out
+}
+
 // MonitorCookies returns the scraper's own cookies (used by the
 // self-access filter).
 func (m *Monitor) MonitorCookies() map[string]bool {

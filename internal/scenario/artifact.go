@@ -21,8 +21,14 @@ type Artifact struct {
 	Scenario    string `json:"scenario"`
 	Description string `json:"description,omitempty"`
 	Seed        int64  `json:"seed"`
-	Shards      int    `json:"shards"`
-	Scale       int    `json:"scale"`
+	// SetupSeed is the derived stream the setup phase drew from (see
+	// SetupSeedFor) — with it, the scenario reproduces standalone.
+	// Warm- and cold-started runs record the same value; whether the
+	// setup was simulated or forked from a snapshot never reaches the
+	// artifact.
+	SetupSeed int64 `json:"setup_seed"`
+	Shards    int   `json:"shards"`
+	Scale     int   `json:"scale"`
 
 	Overview analysis.Overview `json:"overview"`
 
@@ -109,6 +115,7 @@ func BuildArtifact(r *Result) (Artifact, error) {
 		Scenario:    r.Spec.Name,
 		Description: r.Spec.Description,
 		Seed:        r.Seed,
+		SetupSeed:   r.SetupSeed,
 		Shards:      r.Shards,
 		Scale:       r.Scale,
 		Overview:    agg.Overview(),

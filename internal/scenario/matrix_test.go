@@ -118,6 +118,154 @@ func TestAllPresetsRun(t *testing.T) {
 	}
 }
 
+// TestMatrixWarmStartMatchesCold is the warm-start engine's
+// acceptance gate: a matrix that forks its scenarios from one shared
+// post-setup snapshot produces byte-identical artifacts to a matrix
+// that cold-simulates every setup, at shard counts 1 and 4 — and the
+// warm run really did share (every member of the five-preset
+// common-setup group reports WarmStarted), while setups that differ
+// (foreign locale, shifted leak date) stayed cold.
+func TestMatrixWarmStartMatchesCold(t *testing.T) {
+	specs := loadPresets(t,
+		"baseline", "paste-only", "forum-only", "malware-heavy", "visible-scripts",
+		"foreign-locale", "long-tail-90d")
+	sharedSetup := map[string]bool{
+		"baseline": true, "paste-only": true, "forum-only": true,
+		"malware-heavy": true, "visible-scripts": true,
+	}
+	for _, shards := range []int{1, 4} {
+		opts := matrixTestOpts()
+		opts.Shards = shards
+
+		warm, err := RunMatrix(specs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coldOpts := opts
+		coldOpts.ColdStart = true
+		cold, err := RunMatrix(specs, coldOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for i := range specs {
+			name := specs[i].Name
+			if warm[i].Err != nil || cold[i].Err != nil {
+				t.Fatalf("shards=%d %s: warm err %v, cold err %v", shards, name, warm[i].Err, cold[i].Err)
+			}
+			if warm[i].WarmStarted != sharedSetup[name] {
+				t.Errorf("shards=%d %s: WarmStarted=%v, want %v",
+					shards, name, warm[i].WarmStarted, sharedSetup[name])
+			}
+			if cold[i].WarmStarted {
+				t.Errorf("shards=%d %s: cold-start matrix reported a warm-started scenario", shards, name)
+			}
+			wa, err := BuildArtifact(warm[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			ca, err := BuildArtifact(cold[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			wb, err := wa.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cb, err := ca.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(wb, cb) {
+				t.Fatalf("shards=%d %s: warm-started artifact differs from cold\nwarm: %s\ncold: %s",
+					shards, name, wb, cb)
+			}
+		}
+	}
+}
+
+// TestMatrixWarmStartCadenceVariants: cadences are post-fork axes,
+// so scenarios differing only in scan/scrape cadence share one warm
+// setup — and must still match their cold runs byte for byte.
+// Regression test: the resume drift verifier once rejected such
+// forks because their re-armed trigger chains differ from the
+// prototype's.
+func TestMatrixWarmStartCadenceVariants(t *testing.T) {
+	specs := []Spec{
+		{Name: "base-cadence"},
+		{Name: "slow-scan", ScanEvery: "6h", ScrapeEvery: "12h"},
+	}
+	opts := matrixTestOpts()
+	warm, err := RunMatrix(specs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldOpts := opts
+	coldOpts.ColdStart = true
+	cold, err := RunMatrix(specs, coldOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		if warm[i].Err != nil {
+			t.Fatalf("%s failed warm: %v", specs[i].Name, warm[i].Err)
+		}
+		if !warm[i].WarmStarted {
+			t.Fatalf("%s did not warm-start despite sharing a setup", specs[i].Name)
+		}
+		wa, _ := BuildArtifact(warm[i])
+		ca, _ := BuildArtifact(cold[i])
+		wb, _ := wa.Encode()
+		cb, _ := ca.Encode()
+		if !bytes.Equal(wb, cb) {
+			t.Fatalf("%s: warm artifact differs from cold", specs[i].Name)
+		}
+	}
+}
+
+// TestSetupSeedSharing: the derived setup seed is a pure function of
+// the setup-relevant axes — plan variants share it, locale/date
+// variants do not, and the matrix reports it so artifacts reproduce.
+func TestSetupSeedSharing(t *testing.T) {
+	specs := loadPresets(t, "baseline", "paste-only", "foreign-locale")
+	results, err := RunMatrix(specs, matrixTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if r.SetupSeed == 0 {
+			t.Fatalf("%s: scenario ran in the legacy stream layout (SetupSeed 0)", r.Spec.Name)
+		}
+	}
+	if results[0].SetupSeed != results[1].SetupSeed {
+		t.Errorf("baseline and paste-only setups should share a derived seed (%d vs %d)",
+			results[0].SetupSeed, results[1].SetupSeed)
+	}
+	if results[0].SetupSeed == results[2].SetupSeed {
+		t.Error("foreign-locale setup must not share the baseline's derived seed")
+	}
+
+	// Artifact metadata reproduces standalone: seed + setup_seed alone
+	// (no base seed) rebuild the matrix bytes.
+	opts := matrixTestOpts()
+	opts.BaseSeed = 0
+	opts.SetupSeed = results[0].SetupSeed
+	solo := Run(specs[0], results[0].Seed, opts)
+	if solo.Err != nil {
+		t.Fatal(solo.Err)
+	}
+	ma, _ := BuildArtifact(results[0])
+	sa, _ := BuildArtifact(solo)
+	mb, _ := ma.Encode()
+	sb, _ := sa.Encode()
+	if !bytes.Equal(mb, sb) {
+		t.Fatal("Options.SetupSeed did not reproduce the matrix artifact standalone")
+	}
+}
+
 // TestMatrixWorkerBudgetInvariance: the shared worker budget shapes
 // only wall-clock concurrency, never results.
 func TestMatrixWorkerBudgetInvariance(t *testing.T) {

@@ -148,6 +148,16 @@ func (s *Scheduler) Len() int {
 // Fired returns the total number of events executed so far.
 func (s *Scheduler) Fired() uint64 { return s.fired.Load() }
 
+// Seq returns the number of events ever scheduled. Together with Len
+// and Fired it pins the scheduler's observable state: the snapshot
+// engine records all three and verifies that a resumed experiment
+// re-arms its schedulers into exactly the state the original had.
+func (s *Scheduler) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
 // At schedules fn to run at instant t. Events scheduled in the past
 // fire immediately on the next Step (the clock never goes backwards;
 // such events observe the current time). The returned *Event may be

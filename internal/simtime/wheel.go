@@ -1,6 +1,7 @@
 package simtime
 
 import (
+	"sort"
 	"sync"
 	"time"
 )
@@ -81,6 +82,38 @@ func (w *TriggerWheel) Buckets() int {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return len(w.buckets)
+}
+
+// ChainState describes one live (interval, phase) bucket: its cadence
+// and how many registered callbacks ride it. Pending events carry
+// closures, so a chain cannot cross a process boundary — instead the
+// snapshot engine serializes these descriptors and, after the resumed
+// experiment re-arms its own triggers, verifies the rebuilt wheel has
+// chain-for-chain identical state.
+type ChainState struct {
+	IntervalNS int64
+	PhaseNS    int64
+	Entries    int
+}
+
+// Chains returns the wheel's live buckets sorted by (interval, phase)
+// — a deterministic structural fingerprint of the wheel.
+func (w *TriggerWheel) Chains() []ChainState {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]ChainState, 0, len(w.buckets))
+	for key, b := range w.buckets {
+		b.mu.Lock()
+		out = append(out, ChainState{IntervalNS: key.intervalNS, PhaseNS: key.phaseNS, Entries: b.live})
+		b.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].IntervalNS != out[j].IntervalNS {
+			return out[i].IntervalNS < out[j].IntervalNS
+		}
+		return out[i].PhaseNS < out[j].PhaseNS
+	})
+	return out
 }
 
 // Every registers fn to run every interval, first firing one interval

@@ -1,0 +1,39 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSnapshotDecode hammers the decoder with arbitrary bytes:
+// corrupt or truncated snapshots must produce an error — never a
+// panic, never an over-allocation — and anything the decoder does
+// accept must re-encode to exactly the bytes it was given (the
+// canonical-form contract, which also proves the decoder cannot be
+// tricked into a state the encoder could not have produced).
+func FuzzSnapshotDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(magic[:])
+	full := sampleState().Encode()
+	f.Add(full)
+	f.Add(full[:len(full)/2])
+	truncated := append([]byte(nil), full[:len(full)-9]...)
+	f.Add(truncated)
+	flipped := append([]byte(nil), full...)
+	flipped[len(flipped)/3] ^= 0xff
+	f.Add(flipped)
+	empty := (&State{}).Encode()
+	f.Add(empty)
+	oneShard := (&State{Shards: []Shard{{Pending: 1, Chains: []Chain{{IntervalNS: 5}}}}}).Encode()
+	f.Add(oneShard)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if again := s.Encode(); !bytes.Equal(again, data) {
+			t.Fatalf("accepted non-canonical input:\nin:  %x\nout: %x", data, again)
+		}
+	})
+}

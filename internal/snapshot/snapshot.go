@@ -1,0 +1,553 @@
+// Package snapshot defines the deterministic, versioned on-disk form
+// of a honeynet experiment frozen at its post-setup boundary, and the
+// codec that reads and writes it.
+//
+// A snapshot captures everything the setup phase produced — the full
+// webmail account stores (mailboxes, folders, flags), the compiled
+// deployment plan, the rng stream positions, and the observable state
+// of every shard's scheduler, trigger wheel and monitor cursor — as
+// pure data. Pending scheduler events carry closures and cannot cross
+// a process boundary, so the scheduler/wheel/cursor sections are
+// stored as verifiable descriptors: honeynet.Resume re-arms the
+// triggers by replaying the instrumentation sequence and then checks
+// the rebuilt state against these descriptors, erroring on any drift
+// instead of silently diverging. Save → load → run-to-deadline is
+// byte-identical to an uninterrupted run (TestSnapshotInvariance).
+//
+// Format: an 8-byte magic ("hnysnap" + format version), a payload of
+// zigzag/uvarint-coded fields in fixed order, and a trailing FNV-1a
+// checksum over everything before it. All varints must be minimally
+// encoded, so every State has exactly one valid byte representation —
+// Decode(Encode(s)) round-trips byte-for-byte, which FuzzSnapshotDecode
+// leans on. Decoding untrusted bytes returns an error for any
+// corruption or truncation; it never panics and never allocates more
+// than the input length can justify.
+package snapshot
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"os"
+)
+
+// Version is the current snapshot format version, embedded in the
+// magic. Decoders reject other versions rather than guessing.
+const Version = 1
+
+// magic identifies a snapshot file: 7 fixed bytes plus the version.
+var magic = [8]byte{'h', 'n', 'y', 's', 'n', 'a', 'p', Version}
+
+// State is one experiment frozen at the post-setup boundary.
+type State struct {
+	Config   Config
+	Plan     []Block   // the un-expanded deployment plan
+	Root     Stream    // experiment root stream at the boundary
+	Setup    Stream    // setup stream at its final position (diagnostic)
+	Shards   []Shard   // per-shard scheduler/wheel descriptors
+	Cursors  []Cursor  // monitor scrape cursors, sorted by account
+	Accounts []Account // full account stores, in plan order
+}
+
+// Config is the serializable core of honeynet.Config. Sites, attacker
+// populations and locale pools are code-backed structures that only
+// shape the post-fork phases, so they are not stored — only flagged,
+// so a bare Resume on a snapshot that depended on them can refuse
+// instead of silently substituting defaults.
+type Config struct {
+	Seed        int64
+	SetupSeed   int64  // 0: setup drew from the root stream (legacy layout)
+	Fingerprint uint64 // hash of the setup-relevant fields; Resume must match
+
+	StartNS          int64
+	DurationNS       int64
+	MailboxSize      int
+	ScanIntervalNS   int64
+	ScrapeIntervalNS int64
+	Shards           int
+	Scale            int
+
+	VisibleScripts       bool
+	DisableCaseStudies   bool
+	DisableStreaming     bool
+	DisableDirtyTracking bool
+
+	LoginRisk LoginRisk
+
+	CustomSites       bool
+	CustomPopulations bool
+	CustomLocale      bool
+}
+
+// LoginRisk mirrors webmail.LoginRiskConfig.
+type LoginRisk struct {
+	Enabled       bool
+	BlockTor      bool
+	BlockProxies  bool
+	MaxKmFromHome float64
+}
+
+// Block is one plan entry (honeynet.GroupSpec) in neutral form.
+type Block struct {
+	ID      int
+	Count   int
+	Channel string
+	Hint    string
+	Label   string
+}
+
+// Stream is one rng stream position: NewAt(Seed, Pos) resumes it.
+type Stream struct {
+	Seed int64
+	Pos  uint64
+}
+
+// Shard pins one shard scheduler's observable state.
+type Shard struct {
+	NowNS   int64
+	Seq     uint64
+	Fired   uint64
+	Pending int
+	Chains  []Chain
+}
+
+// Chain is one trigger-wheel bucket descriptor.
+type Chain struct {
+	IntervalNS int64
+	PhaseNS    int64
+	Entries    int
+}
+
+// Cursor is one monitor scrape cursor.
+type Cursor struct {
+	Account  string
+	LastSeen uint64
+}
+
+// Account is one webmail account's full server-side state.
+type Account struct {
+	Address  string
+	Password string
+	Owner    string
+	SendFrom string
+	NextID   int64
+	Messages []Message
+}
+
+// Message is one stored mail.
+type Message struct {
+	ID      int64
+	Folder  string
+	From    string
+	To      string
+	Subject string
+	Body    string
+	DateNS  int64
+	Read    bool
+	Starred bool
+	Labels  []string
+}
+
+// sizeHint estimates the encoded size so Encode allocates its buffer
+// once instead of regrowing through megabytes of appends (mailbox
+// text dominates; varint field overhead is budgeted per field).
+func (s *State) sizeHint() int {
+	n := 256 // magic + config + streams + checksum
+	n += len(s.Plan) * 96
+	for _, sh := range s.Shards {
+		n += 64 + len(sh.Chains)*24
+	}
+	for _, c := range s.Cursors {
+		n += len(c.Account) + 16
+	}
+	for _, a := range s.Accounts {
+		n += len(a.Address) + len(a.Password) + len(a.Owner) + len(a.SendFrom) + 32
+		for _, m := range a.Messages {
+			n += len(m.Folder) + len(m.From) + len(m.To) + len(m.Subject) + len(m.Body) + 48
+			for _, l := range m.Labels {
+				n += len(l) + 8
+			}
+		}
+	}
+	return n
+}
+
+// Encode serializes the state into its canonical byte form.
+func (s *State) Encode() []byte {
+	w := &writer{buf: make([]byte, 0, s.sizeHint())}
+	w.raw(magic[:])
+	s.Config.encode(w)
+	w.count(len(s.Plan))
+	for _, b := range s.Plan {
+		w.i64(int64(b.ID))
+		w.i64(int64(b.Count))
+		w.str(b.Channel)
+		w.str(b.Hint)
+		w.str(b.Label)
+	}
+	s.Root.encode(w)
+	s.Setup.encode(w)
+	w.count(len(s.Shards))
+	for _, sh := range s.Shards {
+		w.i64(sh.NowNS)
+		w.u64(sh.Seq)
+		w.u64(sh.Fired)
+		w.count(sh.Pending)
+		w.count(len(sh.Chains))
+		for _, c := range sh.Chains {
+			w.i64(c.IntervalNS)
+			w.i64(c.PhaseNS)
+			w.count(c.Entries)
+		}
+	}
+	w.count(len(s.Cursors))
+	for _, c := range s.Cursors {
+		w.str(c.Account)
+		w.u64(c.LastSeen)
+	}
+	w.count(len(s.Accounts))
+	for _, a := range s.Accounts {
+		w.str(a.Address)
+		w.str(a.Password)
+		w.str(a.Owner)
+		w.str(a.SendFrom)
+		w.i64(a.NextID)
+		w.count(len(a.Messages))
+		for _, m := range a.Messages {
+			w.i64(m.ID)
+			w.str(m.Folder)
+			w.str(m.From)
+			w.str(m.To)
+			w.str(m.Subject)
+			w.str(m.Body)
+			w.i64(m.DateNS)
+			w.bool(m.Read)
+			w.bool(m.Starred)
+			w.count(len(m.Labels))
+			for _, l := range m.Labels {
+				w.str(l)
+			}
+		}
+	}
+	sum := fnv64(w.buf)
+	var tail [8]byte
+	for i := 0; i < 8; i++ {
+		tail[i] = byte(sum >> (8 * i))
+	}
+	return append(w.buf, tail[:]...)
+}
+
+func (c *Config) encode(w *writer) {
+	w.i64(c.Seed)
+	w.i64(c.SetupSeed)
+	w.u64(c.Fingerprint)
+	w.i64(c.StartNS)
+	w.i64(c.DurationNS)
+	w.i64(int64(c.MailboxSize))
+	w.i64(c.ScanIntervalNS)
+	w.i64(c.ScrapeIntervalNS)
+	w.i64(int64(c.Shards))
+	w.i64(int64(c.Scale))
+	w.bool(c.VisibleScripts)
+	w.bool(c.DisableCaseStudies)
+	w.bool(c.DisableStreaming)
+	w.bool(c.DisableDirtyTracking)
+	w.bool(c.LoginRisk.Enabled)
+	w.bool(c.LoginRisk.BlockTor)
+	w.bool(c.LoginRisk.BlockProxies)
+	w.f64(c.LoginRisk.MaxKmFromHome)
+	w.bool(c.CustomSites)
+	w.bool(c.CustomPopulations)
+	w.bool(c.CustomLocale)
+}
+
+func (s *Stream) encode(w *writer) {
+	w.i64(s.Seed)
+	w.u64(s.Pos)
+}
+
+// Decode parses a canonical snapshot, verifying magic, version and
+// checksum. It returns a descriptive error on any malformed input.
+func Decode(data []byte) (*State, error) {
+	if len(data) < len(magic)+8 {
+		return nil, fmt.Errorf("snapshot: %d bytes is shorter than the smallest valid snapshot", len(data))
+	}
+	payload, tail := data[:len(data)-8], data[len(data)-8:]
+	sum := fnv64(payload)
+	for i := 0; i < 8; i++ {
+		if tail[i] != byte(sum>>(8*i)) {
+			return nil, fmt.Errorf("snapshot: checksum mismatch (corrupt or truncated file)")
+		}
+	}
+	r := &reader{data: payload}
+	var got [8]byte
+	if err := r.raw(got[:]); err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(got[:7], magic[:7]) {
+		return nil, fmt.Errorf("snapshot: bad magic %q", got[:7])
+	}
+	if got[7] != Version {
+		return nil, fmt.Errorf("snapshot: unsupported format version %d (this build reads version %d)", got[7], Version)
+	}
+	s := &State{}
+	var err error
+	if err = s.Config.decode(r); err != nil {
+		return nil, err
+	}
+	nPlan, err := r.count("plan blocks")
+	if err != nil {
+		return nil, err
+	}
+	if nPlan > 0 {
+		s.Plan = make([]Block, nPlan)
+	}
+	for i := range s.Plan {
+		b := &s.Plan[i]
+		if b.ID, err = r.intField("plan id"); err != nil {
+			return nil, err
+		}
+		if b.Count, err = r.intField("plan count"); err != nil {
+			return nil, err
+		}
+		if b.Channel, err = r.str("plan channel"); err != nil {
+			return nil, err
+		}
+		if b.Hint, err = r.str("plan hint"); err != nil {
+			return nil, err
+		}
+		if b.Label, err = r.str("plan label"); err != nil {
+			return nil, err
+		}
+	}
+	if err = s.Root.decode(r, "root stream"); err != nil {
+		return nil, err
+	}
+	if err = s.Setup.decode(r, "setup stream"); err != nil {
+		return nil, err
+	}
+	nShards, err := r.count("shards")
+	if err != nil {
+		return nil, err
+	}
+	if nShards > 0 {
+		s.Shards = make([]Shard, nShards)
+	}
+	for i := range s.Shards {
+		sh := &s.Shards[i]
+		if sh.NowNS, err = r.i64("shard now"); err != nil {
+			return nil, err
+		}
+		if sh.Seq, err = r.u64("shard seq"); err != nil {
+			return nil, err
+		}
+		if sh.Fired, err = r.u64("shard fired"); err != nil {
+			return nil, err
+		}
+		if sh.Pending, err = r.count("shard pending"); err != nil {
+			return nil, err
+		}
+		nChains, err := r.count("shard chains")
+		if err != nil {
+			return nil, err
+		}
+		if nChains > 0 {
+			sh.Chains = make([]Chain, nChains)
+		}
+		for j := range sh.Chains {
+			c := &sh.Chains[j]
+			if c.IntervalNS, err = r.i64("chain interval"); err != nil {
+				return nil, err
+			}
+			if c.PhaseNS, err = r.i64("chain phase"); err != nil {
+				return nil, err
+			}
+			if c.Entries, err = r.count("chain entries"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	nCursors, err := r.count("cursors")
+	if err != nil {
+		return nil, err
+	}
+	if nCursors > 0 {
+		s.Cursors = make([]Cursor, nCursors)
+	}
+	for i := range s.Cursors {
+		c := &s.Cursors[i]
+		if c.Account, err = r.str("cursor account"); err != nil {
+			return nil, err
+		}
+		if c.LastSeen, err = r.u64("cursor value"); err != nil {
+			return nil, err
+		}
+	}
+	nAccounts, err := r.count("accounts")
+	if err != nil {
+		return nil, err
+	}
+	if nAccounts > 0 {
+		s.Accounts = make([]Account, nAccounts)
+	}
+	for i := range s.Accounts {
+		a := &s.Accounts[i]
+		if a.Address, err = r.str("account address"); err != nil {
+			return nil, err
+		}
+		if a.Password, err = r.str("account password"); err != nil {
+			return nil, err
+		}
+		if a.Owner, err = r.str("account owner"); err != nil {
+			return nil, err
+		}
+		if a.SendFrom, err = r.str("account send-from"); err != nil {
+			return nil, err
+		}
+		if a.NextID, err = r.i64("account next id"); err != nil {
+			return nil, err
+		}
+		nMsgs, err := r.count("messages")
+		if err != nil {
+			return nil, err
+		}
+		if nMsgs > 0 {
+			a.Messages = make([]Message, nMsgs)
+		}
+		for j := range a.Messages {
+			m := &a.Messages[j]
+			if m.ID, err = r.i64("message id"); err != nil {
+				return nil, err
+			}
+			if m.Folder, err = r.str("message folder"); err != nil {
+				return nil, err
+			}
+			if m.From, err = r.str("message from"); err != nil {
+				return nil, err
+			}
+			if m.To, err = r.str("message to"); err != nil {
+				return nil, err
+			}
+			if m.Subject, err = r.str("message subject"); err != nil {
+				return nil, err
+			}
+			if m.Body, err = r.str("message body"); err != nil {
+				return nil, err
+			}
+			if m.DateNS, err = r.i64("message date"); err != nil {
+				return nil, err
+			}
+			if m.Read, err = r.bool("message read flag"); err != nil {
+				return nil, err
+			}
+			if m.Starred, err = r.bool("message starred flag"); err != nil {
+				return nil, err
+			}
+			nLabels, err := r.count("labels")
+			if err != nil {
+				return nil, err
+			}
+			if nLabels > 0 {
+				m.Labels = make([]string, nLabels)
+				for k := range m.Labels {
+					if m.Labels[k], err = r.str("label"); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	if r.off != len(r.data) {
+		return nil, fmt.Errorf("snapshot: %d trailing bytes after state", len(r.data)-r.off)
+	}
+	return s, nil
+}
+
+func (c *Config) decode(r *reader) error {
+	var err error
+	if c.Seed, err = r.i64("seed"); err != nil {
+		return err
+	}
+	if c.SetupSeed, err = r.i64("setup seed"); err != nil {
+		return err
+	}
+	if c.Fingerprint, err = r.u64("fingerprint"); err != nil {
+		return err
+	}
+	if c.StartNS, err = r.i64("start"); err != nil {
+		return err
+	}
+	if c.DurationNS, err = r.i64("duration"); err != nil {
+		return err
+	}
+	if c.MailboxSize, err = r.intField("mailbox size"); err != nil {
+		return err
+	}
+	if c.ScanIntervalNS, err = r.i64("scan interval"); err != nil {
+		return err
+	}
+	if c.ScrapeIntervalNS, err = r.i64("scrape interval"); err != nil {
+		return err
+	}
+	if c.Shards, err = r.intField("shards"); err != nil {
+		return err
+	}
+	if c.Scale, err = r.intField("scale"); err != nil {
+		return err
+	}
+	flags := []*bool{
+		&c.VisibleScripts, &c.DisableCaseStudies, &c.DisableStreaming, &c.DisableDirtyTracking,
+		&c.LoginRisk.Enabled, &c.LoginRisk.BlockTor, &c.LoginRisk.BlockProxies,
+	}
+	for _, f := range flags {
+		if *f, err = r.bool("config flag"); err != nil {
+			return err
+		}
+	}
+	if c.LoginRisk.MaxKmFromHome, err = r.f64("login-risk radius"); err != nil {
+		return err
+	}
+	for _, f := range []*bool{&c.CustomSites, &c.CustomPopulations, &c.CustomLocale} {
+		if *f, err = r.bool("config flag"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Stream) decode(r *reader, what string) error {
+	var err error
+	if s.Seed, err = r.i64(what + " seed"); err != nil {
+		return err
+	}
+	s.Pos, err = r.u64(what + " position")
+	return err
+}
+
+// WriteFile writes the canonical encoding to path (0644).
+func (s *State) WriteFile(path string) error {
+	if err := os.WriteFile(path, s.Encode(), 0o644); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadFile loads and decodes a snapshot file.
+func ReadFile(path string) (*State, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	s, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (file %s)", err, path)
+	}
+	return s, nil
+}
+
+// fnv64 is FNV-1a over data — the snapshot's integrity checksum.
+func fnv64(data []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(data)
+	return h.Sum64()
+}

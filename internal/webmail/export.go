@@ -1,0 +1,136 @@
+package webmail
+
+import (
+	"fmt"
+	"time"
+)
+
+// AccountExport is the serializable server-side state of one mailbox
+// at the experiment's post-setup boundary: identity, credentials and
+// seeded messages. Activity state (access rows, journal, version
+// counters) is intentionally absent — the snapshot engine only
+// freezes experiments before any simulated activity, and ExportAccount
+// refuses to export an account that has already accumulated any.
+type AccountExport struct {
+	Address  string
+	Password string
+	Owner    string
+	SendFrom string
+	NextID   int64
+	Messages []MessageExport
+}
+
+// MessageExport is one stored mail in neutral form.
+type MessageExport struct {
+	ID      int64
+	Folder  string
+	From    string
+	To      string
+	Subject string
+	Body    string
+	Date    time.Time
+	Read    bool
+	Starred bool
+	Labels  []string
+}
+
+// ExportAccount captures an account's full pre-activity state, with
+// messages in ascending ID order (the canonical export order). It
+// errors if the account has journal entries, access rows or version
+// bumps: such an account is past the boundary this export models, and
+// silently dropping its activity would corrupt a resumed run.
+func (s *Service) ExportAccount(address string) (AccountExport, error) {
+	p, a, err := s.acquire(address)
+	if err != nil {
+		return AccountExport{}, err
+	}
+	defer p.mu.Unlock()
+	if len(a.journal) > 0 || len(a.accesses) > 0 || a.suspended ||
+		a.version.Load() != 0 || a.accessVersion.Load() != 0 {
+		return AccountExport{}, fmt.Errorf("webmail: account %s has live activity; only pre-activity accounts export", address)
+	}
+	out := AccountExport{
+		Address:  a.address,
+		Password: a.password,
+		Owner:    a.owner,
+		SendFrom: a.sendFrom,
+		NextID:   int64(a.nextID),
+	}
+	ids := make([]MessageID, 0, len(a.messages))
+	for id := range a.messages {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ { // insertion sort: IDs are near-sequential
+		for j := i; j > 0 && ids[j-1] > ids[j]; j-- {
+			ids[j-1], ids[j] = ids[j], ids[j-1]
+		}
+	}
+	for _, id := range ids {
+		m := a.messages[id]
+		out.Messages = append(out.Messages, MessageExport{
+			ID: int64(m.ID), Folder: string(m.Folder),
+			From: m.From, To: m.To, Subject: m.Subject, Body: m.Body,
+			Date: m.Date, Read: m.Read, Starred: m.Starred,
+			Labels: append([]string(nil), m.Labels...),
+		})
+	}
+	return out, nil
+}
+
+// RestoreAccountIn recreates an exported account on an explicit
+// partition, exactly as a CreateAccountIn + Seed sequence would have
+// left it: search haystacks are re-baked, version counters start at
+// zero, and no journal entries exist. The export is treated as
+// read-only, so one decoded snapshot can seed many experiments
+// concurrently (the warm-started scenario matrix does).
+func (s *Service) RestoreAccountIn(part int, exp AccountExport) error {
+	if part < 0 || part >= len(s.parts) {
+		return fmt.Errorf("webmail: partition %d out of range [0,%d)", part, len(s.parts))
+	}
+	if exp.Address == "" {
+		return fmt.Errorf("webmail: restore of account with empty address")
+	}
+	a := &account{
+		address:  exp.Address,
+		password: exp.Password,
+		owner:    exp.Owner,
+		sendFrom: exp.SendFrom,
+		nextID:   MessageID(exp.NextID),
+		messages: make(map[MessageID]*Message, len(exp.Messages)),
+		accesses: make(map[string]*Access),
+	}
+	for _, me := range exp.Messages {
+		id := MessageID(me.ID)
+		if id <= 0 || id >= a.nextID {
+			return fmt.Errorf("webmail: restore %s: message id %d outside [1,%d)", exp.Address, me.ID, exp.NextID)
+		}
+		if _, dup := a.messages[id]; dup {
+			return fmt.Errorf("webmail: restore %s: duplicate message id %d", exp.Address, me.ID)
+		}
+		m := &Message{
+			ID: id, Folder: Folder(me.Folder),
+			From: me.From, To: me.To, Subject: me.Subject, Body: me.Body,
+			Date: me.Date, Read: me.Read, Starred: me.Starred,
+		}
+		if len(me.Labels) > 0 {
+			m.Labels = append([]string(nil), me.Labels...)
+		}
+		// The search haystack bakes lazily on first search (see
+		// matchTerms): restoring a fleet of mailboxes from a snapshot
+		// must not pay a ToLower over every byte of seeded text that
+		// may never be searched.
+		a.messages[id] = m
+	}
+	p := s.parts[part]
+	// Same lock order as CreateAccountIn: index lock, then partition.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.index[exp.Address]; ok {
+		return ErrAccountExists
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s.index[exp.Address] = p
+	p.accounts[exp.Address] = a
+	return nil
+}

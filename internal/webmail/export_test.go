@@ -1,0 +1,110 @@
+package webmail
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/simtime"
+)
+
+func exportTestService(t *testing.T) *Service {
+	t.Helper()
+	return NewService(Config{Clock: simtime.NewClock(time.Date(2015, 6, 25, 0, 0, 0, 0, time.UTC)), Partitions: 2})
+}
+
+// TestExportRestoreRoundTrip: a seeded account exports, restores onto
+// another service, and exports identically — flags, folders,
+// haystacks (via Search) included.
+func TestExportRestoreRoundTrip(t *testing.T) {
+	svc := exportTestService(t)
+	if err := svc.CreateAccountIn(1, "kim@x.example", "pw", "Kim Q"); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.SetSendFrom("kim@x.example", "capture@sinkhole.example"); err != nil {
+		t.Fatal(err)
+	}
+	date := time.Date(2015, 3, 1, 9, 0, 0, 0, time.UTC)
+	if _, err := svc.Seed("kim@x.example", FolderInbox, "al@y.example", "kim@x.example", "Budget Draft", "numbers inside", date); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Seed("kim@x.example", FolderSent, "kim@x.example", "al@y.example", "re: budget", "looks fine", date.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+
+	exp, err := svc.ExportAccount("kim@x.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Messages) != 2 || exp.NextID != 3 || exp.SendFrom != "capture@sinkhole.example" {
+		t.Fatalf("unexpected export %+v", exp)
+	}
+
+	svc2 := exportTestService(t)
+	if err := svc2.RestoreAccountIn(0, exp); err != nil {
+		t.Fatal(err)
+	}
+	exp2, err := svc2.ExportAccount("kim@x.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(exp, exp2) {
+		t.Fatalf("restore lost state:\nin:  %+v\nout: %+v", exp, exp2)
+	}
+	// The rebuilt haystack serves search case-insensitively.
+	sess, err := svc2.Login("kim@x.example", "pw", "c1", netsim.Endpoint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := sess.Search("budget")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 {
+		t.Fatalf("search over restored mailbox found %d messages, want 2", len(hits))
+	}
+	if err := svc2.RestoreAccountIn(0, exp); err != ErrAccountExists {
+		t.Fatalf("duplicate restore: got %v, want ErrAccountExists", err)
+	}
+}
+
+// TestExportRefusesLiveAccounts: an account with any activity is past
+// the post-setup boundary and must not export.
+func TestExportRefusesLiveAccounts(t *testing.T) {
+	svc := exportTestService(t)
+	if err := svc.CreateAccountIn(0, "liv@x.example", "pw", "Liv"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Login("liv@x.example", "pw", "c9", netsim.Endpoint{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.ExportAccount("liv@x.example"); err == nil {
+		t.Fatal("export of an account with journal activity accepted")
+	}
+	if _, err := svc.ExportAccount("ghost@x.example"); err == nil {
+		t.Fatal("export of a missing account accepted")
+	}
+}
+
+// TestRestoreRejectsMalformedExports: out-of-range ids and duplicate
+// ids are refused before any state lands.
+func TestRestoreRejectsMalformedExports(t *testing.T) {
+	svc := exportTestService(t)
+	bad := AccountExport{Address: "b@x.example", NextID: 2,
+		Messages: []MessageExport{{ID: 5, Folder: "inbox"}}}
+	if err := svc.RestoreAccountIn(0, bad); err == nil {
+		t.Fatal("message id beyond NextID accepted")
+	}
+	dup := AccountExport{Address: "b@x.example", NextID: 3,
+		Messages: []MessageExport{{ID: 1, Folder: "inbox"}, {ID: 1, Folder: "sent"}}}
+	if err := svc.RestoreAccountIn(0, dup); err == nil {
+		t.Fatal("duplicate message id accepted")
+	}
+	if err := svc.RestoreAccountIn(0, AccountExport{NextID: 1}); err == nil {
+		t.Fatal("empty address accepted")
+	}
+	if err := svc.RestoreAccountIn(7, AccountExport{Address: "c@x.example", NextID: 1}); err == nil {
+		t.Fatal("out-of-range partition accepted")
+	}
+}

@@ -719,19 +719,21 @@ func (a *account) messageLocked(id MessageID) (*Message, error) {
 
 // matchTerms reports whether a message matches the pre-lowered terms
 // of a search query: every term must appear in the subject or body
-// (case-insensitively, via the haystack baked at create/edit time).
+// (case-insensitively, via the precomputed haystack). Messages whose
+// bake was deferred — snapshot-restored mailboxes skip it so resume
+// stays cheap — bake here, on first search, and keep the result;
+// callers hold the owning partition's lock (Search does), so the
+// write is race-free. bake always produces at least the "\n" joiner,
+// so an empty haystack is exactly "never baked".
 func matchTerms(m *Message, terms []string) bool {
 	if len(terms) == 0 {
 		return false
 	}
-	hay := m.haystack
-	if hay == "" {
-		// Defensive: a message that skipped bake still searches
-		// correctly, just without the precompute.
-		hay = strings.ToLower(m.Subject + "\n" + m.Body)
+	if m.haystack == "" {
+		m.bake()
 	}
 	for _, t := range terms {
-		if !strings.Contains(hay, t) {
+		if !strings.Contains(m.haystack, t) {
 			return false
 		}
 	}

@@ -1,26 +1,33 @@
 #!/usr/bin/env sh
 # bench_snapshot.sh — record the perf trajectory of the sharded engine.
 #
-# Runs the end-to-end scaling benchmarks once each and writes
-# BENCH_PR4.json at the repo root: one record per benchmark with the
+# Runs the end-to-end scaling benchmarks once each and writes a
+# BENCH_PR<N>.json at the repo root: one record per benchmark with the
 # (shards, scale) point and wall-clock seconds, plus the CPU string so
-# numbers are only compared on comparable hardware. PR 4 adds the
-# scenario matrix benchmark (five presets on a shared worker budget)
-# to the recorded trajectory.
+# numbers are only compared on comparable hardware. PR 5 adds the
+# snapshot engine's benchmarks (warm- vs cold-started matrix, the
+# snapshot round trip) to the recorded trajectory, and the companion
+# scripts/check_bench_regression.sh turns the latest committed file
+# from a log into an enforced contract.
 #
 # Usage: scripts/bench_snapshot.sh [output.json]
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_PR4.json}"
+out="${1:-BENCH_PR5.json}"
+# The PR number in the trajectory record comes from the file name
+# (BENCH_PR7.json -> 7); unrecognised names record pr 0.
+pr=$(basename "$out" | sed -n 's/^BENCH_PR\([0-9][0-9]*\)\.json$/\1/p')
+[ -n "$pr" ] || pr=0
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -bench 'BenchmarkShardedRun|BenchmarkStreamingRun|BenchmarkMatrixRun' -benchtime 1x -run '^$' . | tee "$raw" >&2
+go test -bench 'BenchmarkShardedRun|BenchmarkStreamingRun|BenchmarkMatrixRun$|BenchmarkMatrixWarmStart|BenchmarkSnapshotRoundTrip' \
+    -benchtime 1x -run '^$' . | tee "$raw" >&2
 
-awk -v out="$out" '
+awk -v out="$out" -v pr="$pr" '
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
-/^Benchmark(ShardedRun|StreamingRun|MatrixRun)/ {
+/^Benchmark(ShardedRun|StreamingRun|MatrixRun|MatrixWarmStart|SnapshotRoundTrip)/ {
     name = $1
     # Trim the trailing -GOMAXPROCS suffix go test appends.
     sub(/-[0-9]+$/, "", name)
@@ -34,7 +41,7 @@ awk -v out="$out" '
 }
 END {
     if (n == 0) { print "bench_snapshot: no benchmark lines parsed" > "/dev/stderr"; exit 1 }
-    printf "{\n  \"pr\": 4,\n  \"cpu\": \"%s\",\n  \"benchtime\": \"1x\",\n  \"benchmarks\": [\n", cpu > out
+    printf "{\n  \"pr\": %d,\n  \"cpu\": \"%s\",\n  \"benchtime\": \"1x\",\n  \"benchmarks\": [\n", pr, cpu > out
     for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "") > out
     printf "  ]\n}\n" > out
 }' "$raw"

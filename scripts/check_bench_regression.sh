@@ -1,0 +1,88 @@
+#!/usr/bin/env sh
+# check_bench_regression.sh — the benchmark regression gate.
+#
+# Compares a freshly measured bench snapshot (scripts/bench_snapshot.sh
+# output) against the LATEST committed BENCH_PR*.json and fails when
+# the headline end-to-end benchmark — BenchmarkShardedRun at
+# shards=4/scale=10, the 1000-account fleet run whose 32.7s -> 2.9s
+# trajectory PRs 1-4 earned — regresses by more than the threshold.
+# This is what keeps BENCH_PR*.json an enforced contract instead of a
+# log: a change that quietly gives those wins back fails the build.
+#
+# Absolute seconds only compare on comparable hardware, so the gate
+# is graduated: on matching CPU strings the strict threshold applies
+# (default 25%); on a CPU mismatch it widens to CROSS_CPU_MAX_PCT
+# (default 100% — catching only egregious regressions while absorbing
+# machine-generation deltas) and says so. Re-measuring the baseline
+# on the gate's own hardware (scripts/bench_snapshot.sh on a machine
+# matching the committed CPU string) restores strict enforcement.
+#
+# Usage: scripts/check_bench_regression.sh NEW.json [max_regression_pct]
+# Env:   CROSS_CPU_MAX_PCT (default 100) — threshold when CPUs differ.
+set -eu
+
+cd "$(dirname "$0")/.."
+new="${1:?usage: check_bench_regression.sh NEW.json [max_regression_pct]}"
+max="${2:-25}"
+key="BenchmarkShardedRun/shards=4/scale=10"
+
+# Latest committed trajectory point = highest PR number, excluding the
+# file under test (when it is being regenerated in place).
+baseline=""
+best=-1
+for f in BENCH_PR*.json; do
+    [ -e "$f" ] || continue
+    [ "$f" -ef "$new" ] 2>/dev/null && continue
+    n=$(basename "$f" | sed -n 's/^BENCH_PR\([0-9][0-9]*\)\.json$/\1/p')
+    [ -n "$n" ] || continue
+    if [ "$n" -gt "$best" ]; then
+        best="$n"
+        baseline="$f"
+    fi
+done
+if [ -z "$baseline" ]; then
+    echo "check_bench_regression: no committed BENCH_PR*.json baseline found" >&2
+    exit 1
+fi
+
+seconds_of() {
+    # Extract "seconds" for $key from a bench json (one record per line).
+    awk -v key="$key" '
+        index($0, "\"" key "\"") {
+            if (match($0, /"seconds": *[0-9.]+/)) {
+                s = substr($0, RSTART, RLENGTH)
+                sub(/.*: */, "", s)
+                print s
+                exit
+            }
+        }' "$1"
+}
+
+cpu_of() {
+    sed -n 's/^ *"cpu": *"\(.*\)",$/\1/p' "$1" | head -n 1
+}
+
+old_s=$(seconds_of "$baseline")
+new_s=$(seconds_of "$new")
+if [ -z "$old_s" ] || [ -z "$new_s" ]; then
+    echo "check_bench_regression: $key missing from $baseline or $new" >&2
+    exit 1
+fi
+
+old_cpu=$(cpu_of "$baseline")
+new_cpu=$(cpu_of "$new")
+if [ "$old_cpu" != "$new_cpu" ]; then
+    max="${CROSS_CPU_MAX_PCT:-100}"
+    echo "check_bench_regression: CPU mismatch (\"$old_cpu\" vs \"$new_cpu\"); widening gate to +$max%" >&2
+fi
+
+awk -v old="$old_s" -v cur="$new_s" -v max="$max" -v key="$key" -v base="$baseline" '
+BEGIN {
+    pct = (cur - old) / old * 100
+    printf "%s: baseline %s = %.3fs, current = %.3fs (%+.1f%%, gate +%s%%)\n", key, base, old, cur, pct, max
+    if (pct > max) {
+        printf "REGRESSION: %.3fs is %.1f%% slower than the committed baseline (max +%s%%)\n", cur, pct, max
+        exit 1
+    }
+}'
+echo "bench regression gate passed" >&2
