@@ -7,6 +7,7 @@
 //	honeynet [-seed N] [-days N] [-experiment id] [-resamples N]
 //	         [-shards N] [-scale K] [-stream=bool] [-dirty-tracking=bool]
 //	         [-setup-seed N] [-checkpoint file] [-resume file]
+//	         [-cpuprofile file] [-memprofile file]
 //	honeynet -scenario <name|file> [-out dir] [...]
 //	honeynet -matrix <name|file>[,<name|file>...] [-out dir] [-workers N]
 //	         [-warm-start=bool] [...]
@@ -16,7 +17,10 @@
 //
 // -shards partitions the run across N parallel schedulers (0 selects
 // one per CPU); the output for a fixed seed is identical at any shard
-// count. -scale replicates the Table 1 plan K×, simulating 100·K
+// count. A shard count larger than the deployment's account count is
+// rejected up front with a non-zero exit. -cpuprofile/-memprofile
+// write pprof profiles of the run (the heap profile is taken post-GC
+// at exit, so it shows live fleet state, not transient garbage). -scale replicates the Table 1 plan K×, simulating 100·K
 // honey accounts. -stream (default true) classifies accesses on the
 // fly inside each shard and reports from merged per-shard aggregates;
 // -stream=false selects the legacy path that merges every access
@@ -57,6 +61,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -85,6 +90,8 @@ func main() {
 		checkpoint = flag.String("checkpoint", "", "write a post-setup snapshot to this file, then continue the run")
 		resumeFile = flag.String("resume", "", "resume from a post-setup snapshot file instead of re-simulating setup")
 		warmStart  = flag.Bool("warm-start", true, "fork matrix scenarios that share a setup phase from one snapshot (false = simulate every setup; identical output)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file when the run completes")
 	)
 	flag.Parse()
 
@@ -93,6 +100,23 @@ func main() {
 	}
 	if *scale < 1 {
 		*scale = 1
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("-cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer writeMemProfile(*memprofile)
 	}
 
 	if *scen != "" || *matrix != "" {
@@ -173,6 +197,9 @@ func main() {
 				cfg.DisableDirtyTracking = !*dirty
 			}
 		})
+		if err := validateShards(cfg.Shards, len(st.Accounts)); err != nil {
+			log.Fatal(err)
+		}
 		exp, err = honeynet.ResumeWith(st, cfg)
 		if err != nil {
 			log.Fatal(err)
@@ -193,8 +220,7 @@ func main() {
 			log.Fatal(err)
 		}
 	} else {
-		var err error
-		exp, err = honeynet.New(honeynet.Config{
+		cfg := honeynet.Config{
 			Seed:                 *seed,
 			SetupSeed:            *setupSeed,
 			Duration:             time.Duration(*days) * 24 * time.Hour,
@@ -202,7 +228,12 @@ func main() {
 			ScaleFactor:          *scale,
 			DisableStreaming:     !*stream,
 			DisableDirtyTracking: !*dirty,
-		})
+		}
+		if err := validateShards(*shards, honeynet.PlannedAccounts(cfg)); err != nil {
+			log.Fatal(err)
+		}
+		var err error
+		exp, err = honeynet.New(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -212,15 +243,13 @@ func main() {
 			log.Fatal(err)
 		}
 		if *checkpoint != "" {
-			st, err := exp.Snapshot()
-			if err != nil {
-				log.Fatal(err)
-			}
-			if err := st.WriteFile(*checkpoint); err != nil {
+			// Streamed account by account: checkpoint memory stays
+			// O(block) whatever -scale made the fleet.
+			if err := exp.WriteSnapshotFile(*checkpoint); err != nil {
 				log.Fatal(err)
 			}
 			fmt.Fprintf(os.Stderr, "post-setup checkpoint written to %s (%d accounts)\n",
-				*checkpoint, len(st.Accounts))
+				*checkpoint, len(exp.Assignments()))
 		}
 		if err := exp.Leak(); err != nil {
 			log.Fatal(err)
@@ -411,6 +440,31 @@ func runMatrix(args []string, opts scenario.Options, outDir string) {
 	writeArtifacts(outDir, results)
 	if failed {
 		os.Exit(1)
+	}
+}
+
+// validateShards rejects shard counts the deployment cannot fill: a
+// shard with zero accounts would silently run an empty scheduler, so
+// the mistake fails fast with the numbers spelled out instead.
+func validateShards(shards, accounts int) error {
+	if shards > accounts {
+		return fmt.Errorf("-shards %d exceeds the deployment's %d account(s); every shard needs at least one account (lower -shards or raise -scale)", shards, accounts)
+	}
+	return nil
+}
+
+// writeMemProfile snapshots the live heap (post-GC) to path.
+func writeMemProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatalf("-memprofile: %v", err)
+	}
+	runtime.GC() // materialize only live objects in the profile
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		log.Fatalf("-memprofile: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatalf("-memprofile: %v", err)
 	}
 }
 

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/geo"
+)
+
+// obsCols is the streaming classifier's columnar "latest access row
+// per cookie" state for one account — the same struct-of-arrays
+// pattern webmail and the monitor use. A delta for a known cookie
+// updates columns in place, so ingesting the monitor's steady stream
+// of tlast/visit bumps allocates nothing; only a genuinely new cookie
+// grows the columns.
+type obsCols struct {
+	byCookie map[string]int32
+
+	cookie   []string
+	firstNS  []int64
+	lastNS   []int64
+	outlet   []Outlet
+	hint     []Hint
+	leakNS   []int64
+	ip       []string
+	city     []string
+	country  []string
+	hasPoint []bool
+	lat      []float64
+	lon      []float64
+	ua       []string
+}
+
+// zeroNS marks a zero time.Time in a nanosecond column: the zero time
+// predates the int64-nanosecond range, so its UnixNano is undefined
+// and must not round-trip through arithmetic.
+const zeroNS = math.MinInt64
+
+func packTime(t time.Time) int64 {
+	if t.IsZero() {
+		return zeroNS
+	}
+	return t.UnixNano()
+}
+
+func unpackTime(ns int64) time.Time {
+	if ns == zeroNS {
+		return time.Time{}
+	}
+	return time.Unix(0, ns).UTC()
+}
+
+func (t *obsCols) len() int { return len(t.cookie) }
+
+// set stores the latest row for a cookie, superseding any earlier one.
+func (t *obsCols) set(a Access) {
+	if i, ok := t.byCookie[a.Cookie]; ok {
+		t.firstNS[i] = packTime(a.First)
+		t.lastNS[i] = packTime(a.Last)
+		t.outlet[i], t.hint[i], t.leakNS[i] = a.Outlet, a.Hint, packTime(a.LeakTime)
+		t.ip[i], t.city[i], t.country[i] = a.IP, a.City, a.Country
+		t.hasPoint[i], t.lat[i], t.lon[i] = a.HasPoint, a.Point.Lat, a.Point.Lon
+		t.ua[i] = a.UserAgent
+		return
+	}
+	if t.byCookie == nil {
+		t.byCookie = make(map[string]int32)
+	}
+	t.byCookie[a.Cookie] = int32(len(t.cookie))
+	t.cookie = append(t.cookie, a.Cookie)
+	t.firstNS = append(t.firstNS, packTime(a.First))
+	t.lastNS = append(t.lastNS, packTime(a.Last))
+	t.outlet = append(t.outlet, a.Outlet)
+	t.hint = append(t.hint, a.Hint)
+	t.leakNS = append(t.leakNS, packTime(a.LeakTime))
+	t.ip = append(t.ip, a.IP)
+	t.city = append(t.city, a.City)
+	t.country = append(t.country, a.Country)
+	t.hasPoint = append(t.hasPoint, a.HasPoint)
+	t.lat = append(t.lat, a.Point.Lat)
+	t.lon = append(t.lon, a.Point.Lon)
+	t.ua = append(t.ua, a.UserAgent)
+}
+
+// materialize rebuilds the Access value for row i, annotated with the
+// account it belongs to.
+func (t *obsCols) materialize(i int32, account string) Access {
+	return Access{
+		Account:   account,
+		Cookie:    t.cookie[i],
+		First:     unpackTime(t.firstNS[i]),
+		Last:      unpackTime(t.lastNS[i]),
+		Outlet:    t.outlet[i],
+		Hint:      t.hint[i],
+		LeakTime:  unpackTime(t.leakNS[i]),
+		IP:        t.ip[i],
+		City:      t.city[i],
+		Country:   t.country[i],
+		HasPoint:  t.hasPoint[i],
+		Point:     geo.Point{Lat: t.lat[i], Lon: t.lon[i]},
+		UserAgent: t.ua[i],
+	}
+}

@@ -81,7 +81,7 @@ type StreamConfig struct {
 // typed, already self-filtered) and attributes once the windows are
 // final.
 type acctState struct {
-	accesses map[string]Access // cookie -> latest row
+	accesses obsCols // columnar latest-row-per-cookie (see columnar.go)
 	actions  []Action
 	changes  []PasswordChange
 }
@@ -114,7 +114,7 @@ func NewStreamClassifier(cfg StreamConfig) *StreamClassifier {
 func (sc *StreamClassifier) state(account string) *acctState {
 	st, ok := sc.accounts[account]
 	if !ok {
-		st = &acctState{accesses: make(map[string]Access)}
+		st = &acctState{}
 		sc.accounts[account] = st
 	}
 	return st
@@ -127,7 +127,7 @@ func (sc *StreamClassifier) state(account string) *acctState {
 func (sc *StreamClassifier) ObserveAccess(a Access) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
-	sc.state(a.Account).accesses[a.Cookie] = a
+	sc.state(a.Account).accesses.set(a)
 }
 
 // ObserveAction ingests one mailbox action notification.
@@ -168,10 +168,7 @@ func (sc *StreamClassifier) Finalize(facts func(account string) Facts, blacklist
 		// Canonical per-account order: ascending cookie, matching the
 		// batch pipeline's (account, cookie) dataset sort, so window
 		// ties break identically.
-		cookies := make([]string, 0, len(st.accesses))
-		for c := range st.accesses {
-			cookies = append(cookies, c)
-		}
+		cookies := append([]string(nil), st.accesses.cookie...)
 		sort.Strings(cookies)
 		var f Facts
 		if facts != nil {
@@ -180,7 +177,7 @@ func (sc *StreamClassifier) Finalize(facts func(account string) Facts, blacklist
 		cs := make([]Classified, len(cookies))
 		refs := make([]*Classified, len(cookies))
 		for i, c := range cookies {
-			a := st.accesses[c]
+			a := st.accesses.materialize(st.accesses.byCookie[c], account)
 			if facts != nil {
 				a.Outlet, a.Hint, a.LeakTime = f.Outlet, f.Hint, f.LeakTime
 			}

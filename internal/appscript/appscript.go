@@ -24,7 +24,7 @@ package appscript
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -276,24 +276,20 @@ func (r *Runtime) scan(sc *script, now time.Time) {
 	notify := func(kind NotificationKind, id webmail.MessageID, body string) {
 		r.sink.Notify(Notification{Time: now, Account: sc.account, Kind: kind, Message: id, Body: body})
 	}
-	for _, id := range diffIDs(prev.Read, snap.Read) {
-		notify(NoteRead, id, "")
-	}
-	for _, id := range diffIDs(prev.Starred, snap.Starred) {
-		notify(NoteStarred, id, "")
-	}
-	for _, id := range diffIDs(prev.Sent, snap.Sent) {
-		notify(NoteSent, id, "")
-	}
-	draftIDs := make([]webmail.MessageID, 0, len(snap.Drafts))
-	for id := range snap.Drafts {
-		draftIDs = append(draftIDs, id)
-	}
-	sort.Slice(draftIDs, func(i, j int) bool { return draftIDs[i] < draftIDs[j] })
-	for _, id := range draftIDs {
-		body := snap.Drafts[id]
-		if old, ok := prev.Drafts[id]; !ok || old != body {
-			notify(NoteDraft, id, body)
+	diffIDs(prev.Read, snap.Read, func(id webmail.MessageID) { notify(NoteRead, id, "") })
+	diffIDs(prev.Starred, snap.Starred, func(id webmail.MessageID) { notify(NoteStarred, id, "") })
+	diffIDs(prev.Sent, snap.Sent, func(id webmail.MessageID) { notify(NoteSent, id, "") })
+	if len(snap.Drafts) > 0 {
+		draftIDs := make([]webmail.MessageID, 0, len(snap.Drafts))
+		for id := range snap.Drafts {
+			draftIDs = append(draftIDs, id)
+		}
+		slices.Sort(draftIDs)
+		for _, id := range draftIDs {
+			body := snap.Drafts[id]
+			if old, ok := prev.Drafts[id]; !ok || old != body {
+				notify(NoteDraft, id, body)
+			}
 		}
 	}
 
@@ -331,18 +327,19 @@ func (r *Runtime) heartbeat(sc *script, now time.Time) {
 	r.sink.Notify(Notification{Time: now, Account: sc.account, Kind: NoteHeartbeat})
 }
 
-// diffIDs returns the IDs present in cur but not prev (both sorted or
-// not; uses a set).
-func diffIDs(prev, cur []webmail.MessageID) []webmail.MessageID {
-	seen := make(map[webmail.MessageID]bool, len(prev))
-	for _, id := range prev {
-		seen[id] = true
-	}
-	var out []webmail.MessageID
+// diffIDs calls emit for each ID present in cur but not in prev. Both
+// slices come from webmail.Snapshot, which emits IDs in ascending
+// order, so a single linear merge replaces the per-scan set — a scan
+// of an unchanged mailbox allocates nothing here.
+func diffIDs(prev, cur []webmail.MessageID, emit func(webmail.MessageID)) {
+	i := 0
 	for _, id := range cur {
-		if !seen[id] {
-			out = append(out, id)
+		for i < len(prev) && prev[i] < id {
+			i++
 		}
+		if i < len(prev) && prev[i] == id {
+			continue
+		}
+		emit(id)
 	}
-	return out
 }

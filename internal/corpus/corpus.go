@@ -378,6 +378,7 @@ type Generator struct {
 	src      *rng.Source
 	weights  []float64
 	contacts []Persona
+	scratch  []byte // render buffer, reused across messages
 }
 
 // NewGenerator builds a Generator with a pool of corporate contacts
@@ -437,6 +438,9 @@ func (g *Generator) Mailbox(owner Persona, n int, start, end time.Time) []Messag
 }
 
 // render instantiates one template for the given owner/peer pair.
+// Subject and body are streamed into a reused scratch buffer: the only
+// allocations per message are the two result strings themselves, not
+// one per template slot.
 func (g *Generator) render(owner, peer Persona, date time.Time) Message {
 	tpl := businessTemplates[g.src.Categorical(g.weights)]
 	sent := g.src.Bool(0.2) // owner is the sender for ~20% of messages
@@ -444,55 +448,86 @@ func (g *Generator) render(owner, peer Persona, date time.Time) Message {
 	if sent {
 		from, to = owner, peer
 	}
-	subject := g.fill(tpl.subject, owner, peer)
-	var b strings.Builder
-	fmt.Fprintf(&b, "Dear %s,\n\n", to.First)
+	g.scratch = g.scratch[:0]
+	g.fillTo(tpl.subject, owner, peer)
+	subject := string(g.scratch)
+	g.scratch = g.scratch[:0]
+	g.scratch = append(g.scratch, "Dear "...)
+	g.scratch = append(g.scratch, to.First...)
+	g.scratch = append(g.scratch, ",\n\n"...)
 	for _, para := range tpl.body {
-		b.WriteString(g.fill(para, owner, peer))
-		b.WriteString("\n\n")
+		g.fillTo(para, owner, peer)
+		g.scratch = append(g.scratch, "\n\n"...)
 	}
-	fmt.Fprintf(&b, "Regards,\n%s\n%s, %s\n%s\n", from.FullName(), from.Title, from.Department, g.cfg.Company)
+	g.scratch = append(g.scratch, "Regards,\n"...)
+	g.scratch = append(g.scratch, from.First...)
+	g.scratch = append(g.scratch, ' ')
+	g.scratch = append(g.scratch, from.Last...)
+	g.scratch = append(g.scratch, '\n')
+	g.scratch = append(g.scratch, from.Title...)
+	g.scratch = append(g.scratch, ", "...)
+	g.scratch = append(g.scratch, from.Department...)
+	g.scratch = append(g.scratch, '\n')
+	g.scratch = append(g.scratch, g.cfg.Company...)
+	g.scratch = append(g.scratch, '\n')
 	return Message{
 		From:    from.Email,
 		To:      to.Email,
 		Subject: subject,
-		Body:    b.String(),
+		Body:    string(g.scratch),
 		Date:    date,
 	}
 }
 
-// fill substitutes template slots.
-func (g *Generator) fill(s string, owner, peer Persona) string {
-	out := s
+// fillTo appends s to the scratch buffer with template slots
+// substituted, left to right. Slot values never contain braces, so the
+// single pass matches the old rescanning substitution exactly —
+// including its rng draw order, one Pick per {slot} with candidates.
+func (g *Generator) fillTo(s string, owner, peer Persona) {
 	for {
-		i := strings.IndexByte(out, '{')
+		i := strings.IndexByte(s, '{')
 		if i < 0 {
-			return out
+			g.scratch = append(g.scratch, s...)
+			return
 		}
-		j := strings.IndexByte(out[i:], '}')
+		j := strings.IndexByte(s[i:], '}')
 		if j < 0 {
-			return out
+			g.scratch = append(g.scratch, s...)
+			return
 		}
-		slot := out[i+1 : i+j]
-		var val string
+		g.scratch = append(g.scratch, s[:i]...)
+		slot := s[i+1 : i+j]
 		switch slot {
 		case "peer":
-			val = peer.First
+			g.scratch = append(g.scratch, peer.First...)
 		case "owner":
-			val = owner.First
+			g.scratch = append(g.scratch, owner.First...)
 		case "company":
-			val = g.cfg.Company
+			g.scratch = append(g.scratch, g.cfg.Company...)
 		case "department_topic":
-			val = strings.ToLower(owner.Department)
+			g.scratch = appendLower(g.scratch, owner.Department)
 		default:
 			if cands, ok := fills[slot]; ok {
-				val = rng.Pick(g.src, cands)
+				g.scratch = append(g.scratch, rng.Pick(g.src, cands)...)
 			} else {
-				val = slot // unknown slot: leave the word, drop braces
+				g.scratch = append(g.scratch, slot...) // unknown slot: leave the word, drop braces
 			}
 		}
-		out = out[:i] + val + out[i+j+1:]
+		s = s[i+j+1:]
 	}
+}
+
+// appendLower appends the ASCII-lowercased s without an intermediate
+// string (department names are plain ASCII).
+func appendLower(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		dst = append(dst, c)
+	}
+	return dst
 }
 
 func sortDurations(d []time.Duration) {

@@ -72,6 +72,14 @@ func PlanAccounts(plan []GroupSpec) int {
 	return n
 }
 
+// PlannedAccounts returns the number of accounts a configuration will
+// deploy once defaults and the scale factor are applied — what callers
+// need to sanity-check shard counts before paying for Setup.
+func PlannedAccounts(cfg Config) int {
+	cfg = cfg.withDefaults()
+	return PlanAccounts(expandPlan(cfg.Plan, cfg.ScaleFactor))
+}
+
 // ValidatePlan rejects malformed plans.
 func ValidatePlan(plan []GroupSpec) error {
 	if len(plan) == 0 {

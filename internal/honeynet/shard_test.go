@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/netsim"
 )
 
 // runSharded executes a fastConfig deployment at the given shard
@@ -223,11 +224,18 @@ func TestDistinctAttackersNeverShareIPs(t *testing.T) {
 
 // TestPlanTooLargeForTenancyRejected: fleets beyond the IP-tenancy
 // capacity fail loudly at construction instead of silently assigning
-// colliding address ranges.
+// colliding address ranges — and fleets that used to hit the IPv4
+// ceiling now construct, their tail blocks drawing addresses from the
+// IPv6 overflow plane.
 func TestPlanTooLargeForTenancyRejected(t *testing.T) {
 	cfg := fastConfig(1)
-	cfg.ScaleFactor = 300 // 4 blocks × 300 = 1200 > TenantSlots-1
+	cfg.ScaleFactor = netsim.TenantSlots/4 + 1
 	if _, err := New(cfg); err == nil {
 		t.Fatal("oversized plan accepted")
+	}
+	cfg = fastConfig(1)
+	cfg.ScaleFactor = 300 // 4 blocks × 300 = 1200, past the old 800-slot IPv4 ceiling
+	if _, err := New(cfg); err != nil {
+		t.Fatalf("1200-block fleet rejected: %v", err)
 	}
 }

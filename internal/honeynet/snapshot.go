@@ -1,7 +1,10 @@
 package honeynet
 
 import (
+	"bufio"
 	"fmt"
+	"io"
+	"os"
 	"reflect"
 	"sort"
 	"time"
@@ -85,8 +88,93 @@ func SetupFingerprint(cfg Config) uint64 {
 // state. It must be called after Setup and before Leak, while no
 // simulated event has fired — the only boundary at which every
 // pending event is re-armable (past it, attacker and outlet closures
-// are in flight and cannot cross a process boundary).
+// are in flight and cannot cross a process boundary). The returned
+// State holds every account in memory; fleet-scale checkpoints should
+// use WriteSnapshot, which streams accounts one at a time.
 func (e *Experiment) Snapshot() (*snapshot.State, error) {
+	st, err := e.snapshotMeta()
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range e.assignments { // plan order: the canonical account order
+		acct, err := e.exportAccount(a.Account)
+		if err != nil {
+			return nil, err
+		}
+		st.Accounts = append(st.Accounts, acct)
+	}
+	return st, nil
+}
+
+// WriteSnapshot streams the post-setup snapshot to w, exporting and
+// encoding one account at a time — checkpoint memory stays O(account
+// block) however many accounts the plan holds. The same boundary
+// rules as Snapshot apply.
+func (e *Experiment) WriteSnapshot(w io.Writer) error {
+	st, err := e.snapshotMeta()
+	if err != nil {
+		return err
+	}
+	enc, err := snapshot.NewEncoder(w, st, len(e.assignments))
+	if err != nil {
+		return err
+	}
+	for _, a := range e.assignments {
+		acct, err := e.exportAccount(a.Account)
+		if err != nil {
+			return err
+		}
+		if err := enc.WriteAccount(&acct); err != nil {
+			return err
+		}
+	}
+	return enc.Close()
+}
+
+// WriteSnapshotFile streams the snapshot to a file (0644).
+func (e *Experiment) WriteSnapshotFile(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("honeynet: checkpoint %s: %w", path, err)
+	}
+	bw := bufio.NewWriterSize(f, 64<<10)
+	werr := e.WriteSnapshot(bw)
+	if werr == nil {
+		werr = bw.Flush()
+	}
+	if cerr := f.Close(); werr == nil && cerr != nil {
+		werr = fmt.Errorf("honeynet: checkpoint %s: %w", path, cerr)
+	}
+	return werr
+}
+
+// exportAccount converts one account's webmail export to snapshot
+// form.
+func (e *Experiment) exportAccount(account string) (snapshot.Account, error) {
+	exp, err := e.svc.ExportAccount(account)
+	if err != nil {
+		return snapshot.Account{}, fmt.Errorf("honeynet: snapshot %s: %w", account, err)
+	}
+	acct := snapshot.Account{
+		Address:  exp.Address,
+		Password: exp.Password,
+		Owner:    exp.Owner,
+		SendFrom: exp.SendFrom,
+		NextID:   exp.NextID,
+	}
+	for _, m := range exp.Messages {
+		acct.Messages = append(acct.Messages, snapshot.Message{
+			ID: m.ID, Folder: m.Folder, From: m.From, To: m.To,
+			Subject: m.Subject, Body: m.Body, DateNS: m.Date.UnixNano(),
+			Read: m.Read, Starred: m.Starred, Labels: m.Labels,
+		})
+	}
+	return acct, nil
+}
+
+// snapshotMeta builds the non-account sections of the snapshot after
+// checking the boundary invariants.
+func (e *Experiment) snapshotMeta() (*snapshot.State, error) {
 	if !e.setupDone {
 		return nil, fmt.Errorf("honeynet: Snapshot before Setup (nothing to freeze)")
 	}
@@ -150,27 +238,6 @@ func (e *Experiment) Snapshot() (*snapshot.State, error) {
 		st.Shards = append(st.Shards, ss)
 	}
 	st.Cursors = e.cursorStates()
-	for _, a := range e.assignments { // plan order: the canonical account order
-		exp, err := e.svc.ExportAccount(a.Account)
-		if err != nil {
-			return nil, fmt.Errorf("honeynet: snapshot %s: %w", a.Account, err)
-		}
-		acct := snapshot.Account{
-			Address:  exp.Address,
-			Password: exp.Password,
-			Owner:    exp.Owner,
-			SendFrom: exp.SendFrom,
-			NextID:   exp.NextID,
-		}
-		for _, m := range exp.Messages {
-			acct.Messages = append(acct.Messages, snapshot.Message{
-				ID: m.ID, Folder: m.Folder, From: m.From, To: m.To,
-				Subject: m.Subject, Body: m.Body, DateNS: m.Date.UnixNano(),
-				Read: m.Read, Starred: m.Starred, Labels: m.Labels,
-			})
-		}
-		st.Accounts = append(st.Accounts, acct)
-	}
 	return st, nil
 }
 

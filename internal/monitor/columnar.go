@@ -1,0 +1,98 @@
+package monitor
+
+import (
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/webmail"
+)
+
+// obsTable is the columnar "latest activity row per cookie" store for
+// one account — the monitor-side mirror of webmail's columnar
+// activity page. Row i is the newest observed state of one cookie;
+// deltas update columns in place, so steady-state observation of an
+// active account allocates nothing per scrape. String fields retain
+// the incoming values: they are already arena-backed by the webmail
+// partition's string table, so keeping the reference shares that
+// storage instead of copying it.
+type obsTable struct {
+	byCookie map[string]int32
+
+	cookie   []string
+	firstNS  []int64
+	lastNS   []int64
+	ip       []string
+	city     []string
+	country  []string
+	lat      []float64
+	lon      []float64
+	hasPoint []bool
+	ua       []string
+	browser  []netsim.Browser
+	device   []netsim.DeviceClass
+	visits   []int32
+}
+
+func (t *obsTable) len() int { return len(t.cookie) }
+
+// observe merges one freshly scraped row, reporting whether anything
+// observable changed since the last scrape. The comparison covers
+// every activity-page field; a row's change counter (webmail's
+// private rev) moves only when one of these fields does, so field
+// equality here is exactly the old struct-equality diff.
+func (t *obsTable) observe(r webmail.Access) bool {
+	firstNS, lastNS := r.First.UnixNano(), r.Last.UnixNano()
+	if i, ok := t.byCookie[r.Cookie]; ok {
+		if t.firstNS[i] == firstNS && t.lastNS[i] == lastNS &&
+			t.ip[i] == r.IP && t.city[i] == r.City && t.country[i] == r.Country &&
+			t.lat[i] == r.Lat && t.lon[i] == r.Lon && t.hasPoint[i] == r.HasPoint &&
+			t.ua[i] == r.UserAgent && t.browser[i] == r.Browser &&
+			t.device[i] == r.Device && int(t.visits[i]) == r.Visits {
+			return false
+		}
+		t.firstNS[i], t.lastNS[i] = firstNS, lastNS
+		t.ip[i], t.city[i], t.country[i] = r.IP, r.City, r.Country
+		t.lat[i], t.lon[i], t.hasPoint[i] = r.Lat, r.Lon, r.HasPoint
+		t.ua[i], t.browser[i], t.device[i] = r.UserAgent, r.Browser, r.Device
+		t.visits[i] = int32(r.Visits)
+		return true
+	}
+	if t.byCookie == nil {
+		t.byCookie = make(map[string]int32)
+	}
+	t.byCookie[r.Cookie] = int32(len(t.cookie))
+	t.cookie = append(t.cookie, r.Cookie)
+	t.firstNS = append(t.firstNS, firstNS)
+	t.lastNS = append(t.lastNS, lastNS)
+	t.ip = append(t.ip, r.IP)
+	t.city = append(t.city, r.City)
+	t.country = append(t.country, r.Country)
+	t.lat = append(t.lat, r.Lat)
+	t.lon = append(t.lon, r.Lon)
+	t.hasPoint = append(t.hasPoint, r.HasPoint)
+	t.ua = append(t.ua, r.UserAgent)
+	t.browser = append(t.browser, r.Browser)
+	t.device = append(t.device, r.Device)
+	t.visits = append(t.visits, int32(r.Visits))
+	return true
+}
+
+// materialize rebuilds the public Access value for row i, with the
+// same canonical time representation the webmail store uses.
+func (t *obsTable) materialize(i int32) webmail.Access {
+	return webmail.Access{
+		Cookie:    t.cookie[i],
+		First:     time.Unix(0, t.firstNS[i]).UTC(),
+		Last:      time.Unix(0, t.lastNS[i]).UTC(),
+		IP:        t.ip[i],
+		City:      t.city[i],
+		Country:   t.country[i],
+		Lat:       t.lat[i],
+		Lon:       t.lon[i],
+		HasPoint:  t.hasPoint[i],
+		UserAgent: t.ua[i],
+		Browser:   t.browser[i],
+		Device:    t.device[i],
+		Visits:    int(t.visits[i]),
+	}
+}

@@ -56,8 +56,17 @@ type Store struct {
 	// byAccount indexes notifications by account (positions in the
 	// notifications slice), maintained at Notify time so per-account
 	// lookups never scan the whole fleet's feed.
-	byAccount     map[string][]int
-	accesses      map[string]map[string]webmail.Access // account -> cookie -> latest row
+	byAccount map[string][]int
+	// accesses holds each account's latest-row-per-cookie state as
+	// parallel columns (see columnar.go) instead of maps of boxed
+	// structs: a million-account fleet keeps one obsTable per account,
+	// not one heap object per observed row.
+	accesses map[string]*obsTable
+	// changed is recordAccesses's reusable delta buffer; its contents
+	// are only valid until the next recordAccesses call (scrape ticks
+	// on one store are serialized by the owning scheduler, and
+	// scrapeOne consumes the delta before returning).
+	changed       []webmail.Access
 	failures      []ScrapeFailure
 	failed        map[string]bool // account -> scraper locked out
 	lastHeartbeat map[string]time.Time
@@ -83,7 +92,7 @@ func (s *Store) Sink() Sink {
 func NewStore() *Store {
 	return &Store{
 		byAccount:     make(map[string][]int),
-		accesses:      make(map[string]map[string]webmail.Access),
+		accesses:      make(map[string]*obsTable),
 		failed:        make(map[string]bool),
 		lastHeartbeat: make(map[string]time.Time),
 	}
@@ -134,22 +143,23 @@ func (s *Store) NotificationsFor(account string) []appscript.Notification {
 // rows that actually changed since the last scrape — the delta the
 // streaming sink needs (unchanged rows would only make the classifier
 // rewrite identical state).
+// The returned slice aliases the store's reusable buffer: it is valid
+// only until the next recordAccesses call.
 func (s *Store) recordAccesses(account string, rows []webmail.Access) []webmail.Access {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	m, ok := s.accesses[account]
+	t, ok := s.accesses[account]
 	if !ok {
-		m = make(map[string]webmail.Access)
-		s.accesses[account] = m
+		t = &obsTable{}
+		s.accesses[account] = t
 	}
-	var changed []webmail.Access
+	s.changed = s.changed[:0]
 	for _, r := range rows {
-		if old, seen := m[r.Cookie]; !seen || old != r {
-			m[r.Cookie] = r
-			changed = append(changed, r)
+		if t.observe(r) {
+			s.changed = append(s.changed, r)
 		}
 	}
-	return changed
+	return s.changed
 }
 
 // recordFailure notes a lost account (first failure only).
@@ -225,6 +235,10 @@ type Monitor struct {
 	order   []*tracked // sorted by account; rebuilt after Track
 	stale   bool       // order needs a rebuild
 	stop    func()
+
+	// rowScratch is scrapeOne's reusable delta buffer; scrape ticks
+	// are serialized by the owning scheduler.
+	rowScratch []webmail.Access
 }
 
 // Config parameterises a Monitor.
@@ -395,21 +409,27 @@ func (m *Monitor) scrapeOne(t *tracked, now time.Time) {
 		}
 		return
 	}
-	// Pull only the rows changed since the last scrape. With the gate
-	// disabled the cursor resets to 0 each tick, restoring the legacy
-	// full-page copy (recordAccesses re-diffs it below either way).
+	// Pull only the rows changed since the last scrape, streaming them
+	// into a reusable buffer (scrape ticks are serialized by the
+	// owning scheduler, so one buffer per monitor suffices and the
+	// steady-state scrape allocates nothing). With the gate disabled
+	// the cursor resets to 0 each tick, restoring the legacy full-page
+	// copy (recordAccesses re-diffs it below either way).
 	cursor := t.lastSeen
 	if m.gateOff {
 		cursor = 0
 	}
-	rows, version, err := session.ActivityPageSince(cursor)
+	m.rowScratch = m.rowScratch[:0]
+	version, err := session.ActivitySince(cursor, func(a webmail.Access) {
+		m.rowScratch = append(m.rowScratch, a)
+	})
 	if err != nil {
 		t.failed = true
 		m.store.recordFailure(t.account, fmt.Sprintf("scrape: %v", err), now)
 		return
 	}
 	t.lastSeen = version
-	changed := m.store.recordAccesses(t.account, rows)
+	changed := m.store.recordAccesses(t.account, m.rowScratch)
 	sink := m.store.Sink()
 	if sink == nil {
 		return
@@ -443,20 +463,18 @@ func (m *Monitor) Dataset() []AccessRecord {
 	}
 	sort.Strings(accounts)
 	for _, a := range accounts {
-		cookies := make([]string, 0, len(m.store.accesses[a]))
-		for c := range m.store.accesses[a] {
-			cookies = append(cookies, c)
-		}
+		t := m.store.accesses[a]
+		cookies := append([]string(nil), t.cookie...)
 		sort.Strings(cookies)
 		for _, c := range cookies {
-			row := m.store.accesses[a][c]
-			if self[row.Cookie] {
+			i := t.byCookie[c]
+			if self[c] {
 				continue
 			}
-			if m.selfCity != "" && row.City == m.selfCity {
+			if m.selfCity != "" && t.city[i] == m.selfCity {
 				continue
 			}
-			out = append(out, AccessRecord{Account: a, Access: row})
+			out = append(out, AccessRecord{Account: a, Access: t.materialize(i)})
 		}
 	}
 	return out

@@ -203,14 +203,24 @@ func NewAddressSpace(src *rng.Source, gaz *geo.Gazetteer) *AddressSpace {
 	return NewAddressSpaceTenant(src, gaz, 0)
 }
 
-// TenantSlots bounds the number of disjoint tenant ranges. Each
-// tenant shifts every pool base by tenant<<18 (a /14 per tenant):
-// with 800 slots the top shift is ~12.5 in the first octet, so the
-// city pool stays below 54.x, the Tor pool below 184.x and the proxy
-// pool below 198.x — mutually disjoint — while a /14 still holds the
-// whole per-tenant city layout (gazetteer cities occupy
+// v4Tenants is the number of tenants the IPv4 plane holds. Each of
+// them shifts every pool base by tenant<<18 (a /14 per tenant): with
+// 800 slots the top shift is ~12.5 in the first octet, so the city
+// pool stays below 54.x, the Tor pool below 184.x and the proxy pool
+// below 198.x — mutually disjoint — while a /14 still holds the whole
+// per-tenant city layout (gazetteer cities occupy
 // (1+i>>8)<<16 + (i&255)<<8, which fits for up to 767 cities).
-const TenantSlots = 800
+const v4Tenants = 800
+
+// TenantSlots bounds the number of disjoint tenant ranges. The first
+// v4Tenants tenants keep their original IPv4 layout byte for byte (so
+// paper-scale runs and their goldens never move); tenants beyond that
+// overflow into the 2001:db8::/32 documentation prefix, where each
+// tenant owns a /64 split into city/Tor/proxy pools — the fleet-scale
+// plane that lets a plan expand to hundreds of thousands of blocks
+// (ScaleFactor 1000 is 8000 blocks) without two attackers ever
+// sharing an address.
+const TenantSlots = 1 << 20
 
 // NewAddressSpaceTenant builds an address space whose allocation
 // ranges are disjoint from every other tenant's. The sharded
@@ -232,18 +242,50 @@ func NewAddressSpaceTenant(src *rng.Source, gaz *geo.Gazetteer, tenant int) *Add
 		torSet:   make(map[netip.Addr]bool),
 		prxSet:   make(map[netip.Addr]bool),
 	}
-	off := uint32(tenant) << 18
 	cities := gaz.Cities()
 	sort.Slice(cities, func(i, j int) bool { return cities[i].Name < cities[j].Name })
-	for i, c := range cities {
-		// Deterministic layout: city i of tenant t gets base
-		// 41.(1+i>>8).(i&255).1 shifted by t<<18.
-		base := addrShift(netip.AddrFrom4([4]byte{41, byte(1 + i>>8), byte(i & 255), 1}), off)
-		as.cityNet[c.Name] = base
+	if tenant < v4Tenants {
+		off := uint32(tenant) << 18
+		for i, c := range cities {
+			// Deterministic layout: city i of tenant t gets base
+			// 41.(1+i>>8).(i&255).1 shifted by t<<18.
+			base := addrShift(netip.AddrFrom4([4]byte{41, byte(1 + i>>8), byte(i & 255), 1}), off)
+			as.cityNet[c.Name] = base
+		}
+		as.torNext = addrShift(netip.AddrFrom4([4]byte{171, 25, 193, 1}), off) // Tor-ish range
+		as.prxNext = addrShift(netip.AddrFrom4([4]byte{185, 100, 84, 1}), off) // proxy-ish range
+		return as
 	}
-	as.torNext = addrShift(netip.AddrFrom4([4]byte{171, 25, 193, 1}), off) // Tor-ish range
-	as.prxNext = addrShift(netip.AddrFrom4([4]byte{185, 100, 84, 1}), off) // proxy-ish range
+	// Overflow plane: 2001:db8:<tenant>::/64 per tenant, pools keyed
+	// by a kind byte so city/Tor/proxy ranges cannot meet. Every
+	// consumer handles these addresses through netip.Addr, so the two
+	// planes differ only in the bytes they print.
+	for i, c := range cities {
+		as.cityNet[c.Name] = addr6(tenant, 1, uint64(i)<<16|1)
+	}
+	as.torNext = addr6(tenant, 2, 1)
+	as.prxNext = addr6(tenant, 3, 1)
 	return as
+}
+
+// addr6 builds the overflow-plane address 2001:db8:<tenant>::/64 with
+// a pool-kind byte and a low counter in the interface bits.
+func addr6(tenant int, kind byte, low uint64) netip.Addr {
+	var b [16]byte
+	b[0], b[1], b[2], b[3] = 0x20, 0x01, 0x0d, 0xb8
+	b[4] = byte(tenant >> 24)
+	b[5] = byte(tenant >> 16)
+	b[6] = byte(tenant >> 8)
+	b[7] = byte(tenant)
+	b[8] = kind
+	b[9] = byte(low >> 48)
+	b[10] = byte(low >> 40)
+	b[11] = byte(low >> 32)
+	b[12] = byte(low >> 24)
+	b[13] = byte(low >> 16)
+	b[14] = byte(low >> 8)
+	b[15] = byte(low)
+	return netip.AddrFrom16(b)
 }
 
 // addrShift adds a fixed offset to an IPv4 address.

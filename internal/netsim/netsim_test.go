@@ -208,7 +208,9 @@ func TestAddressSpaceTenantsDisjoint(t *testing.T) {
 	seenCity := map[string]int{}
 	seenTor := map[string]int{}
 	seenProxy := map[string]int{}
-	for _, tenant := range []int{0, 1, 2, 3, 4, 5, 399, TenantSlots - 1} {
+	// Spans both planes: the IPv4 ladder, its last slot, and the
+	// first/later slots of the IPv6 overflow plane.
+	for _, tenant := range []int{0, 1, 2, 3, 4, 5, 399, v4Tenants - 1, v4Tenants, v4Tenants + 1, 8000, TenantSlots - 1} {
 		as := NewAddressSpaceTenant(rng.New(1), gaz, tenant)
 		for i := 0; i < 10; i++ {
 			ep, err := as.FromCity("London")

@@ -51,6 +51,12 @@ type wheelBucket struct {
 	live     int
 	stopped  int // entries cancelled but not yet compacted
 	stopTick func()
+
+	// scratch is tick's reusable snapshot of entries. Ticks of one
+	// bucket never overlap — the chain is a single Every on the
+	// scheduler's Run goroutine and callbacks cannot re-enter it — so
+	// one buffer per bucket makes the per-tick snapshot allocation-free.
+	scratch []*wheelEntry
 }
 
 // wheelEntry is one registered callback.
@@ -168,8 +174,11 @@ func (w *TriggerWheel) Every(interval time.Duration, name string, fn func(now ti
 func (b *wheelBucket) tick(now time.Time) {
 	nowNS := now.UnixNano()
 	b.mu.Lock()
-	entries := make([]*wheelEntry, len(b.entries))
-	copy(entries, b.entries)
+	entries := append(b.scratch[:0], b.entries...)
+	// Drop stale tail pointers so cancelled entries are not retained
+	// past the tick that stopped seeing them.
+	clear(entries[len(entries):cap(entries)])
+	b.scratch = entries
 	b.mu.Unlock()
 	for _, e := range entries {
 		if e.notBeforeNS > nowNS {

@@ -26,6 +26,12 @@ func FuzzSnapshotDecode(f *testing.F) {
 	f.Add(empty)
 	oneShard := (&State{Shards: []Shard{{Pending: 1, Chains: []Chain{{IntervalNS: 5}}}}}).Encode()
 	f.Add(oneShard)
+	// A fleet spanning multiple canonical account frames, plus a cut
+	// inside its second frame, so the fuzzer starts with the chunked
+	// framing in its corpus — not just single-block snapshots.
+	chunked := fleetState(BlockAccounts + 6).Encode()
+	f.Add(chunked)
+	f.Add(chunked[:len(chunked)-20])
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := Decode(data)

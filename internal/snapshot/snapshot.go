@@ -14,26 +14,36 @@
 // instead of silently diverging. Save → load → run-to-deadline is
 // byte-identical to an uninterrupted run (TestSnapshotInvariance).
 //
-// Format: an 8-byte magic ("hnysnap" + format version), a payload of
-// zigzag/uvarint-coded fields in fixed order, and a trailing FNV-1a
-// checksum over everything before it. All varints must be minimally
-// encoded, so every State has exactly one valid byte representation —
-// Decode(Encode(s)) round-trips byte-for-byte, which FuzzSnapshotDecode
-// leans on. Decoding untrusted bytes returns an error for any
-// corruption or truncation; it never panics and never allocates more
-// than the input length can justify.
+// Format: an 8-byte magic ("hnysnap" + format version) followed by a
+// stream of checksummed frames — one meta frame (config, plan,
+// streams, shards, cursors, account count), the accounts in canonical
+// fixed-size blocks, and a trailer carrying a rolling checksum (see
+// stream.go). Fields are zigzag/uvarint-coded in fixed order and all
+// varints must be minimally encoded, so every State has exactly one
+// valid byte representation — Decode(Encode(s)) round-trips
+// byte-for-byte, which FuzzSnapshotDecode leans on. Decoding untrusted
+// bytes returns an error for any corruption or truncation; it never
+// panics and never allocates more than the input length can justify.
+//
+// The framing exists for memory, not just integrity: Encoder and
+// Decoder stream accounts one at a time, so writing or reading a
+// fleet-scale checkpoint holds one account block in memory, not the
+// whole fleet. Encode/Decode are convenience wrappers over them.
 package snapshot
 
 import (
+	"bufio"
 	"bytes"
 	"fmt"
-	"hash/fnv"
+	"io"
 	"os"
 )
 
 // Version is the current snapshot format version, embedded in the
 // magic. Decoders reject other versions rather than guessing.
-const Version = 1
+// Version 2 replaced the whole-payload v1 layout with the framed
+// streaming container.
+const Version = 2
 
 // magic identifies a snapshot file: 7 fixed bytes plus the version.
 var magic = [8]byte{'h', 'n', 'y', 's', 'n', 'a', 'p', Version}
@@ -152,7 +162,8 @@ type Message struct {
 // once instead of regrowing through megabytes of appends (mailbox
 // text dominates; varint field overhead is budgeted per field).
 func (s *State) sizeHint() int {
-	n := 256 // magic + config + streams + checksum
+	n := 256                                      // magic + config + streams + trailer
+	n += 16 * (2 + len(s.Accounts)/BlockAccounts) // frame headers + checksums
 	n += len(s.Plan) * 96
 	for _, sh := range s.Shards {
 		n += 64 + len(sh.Chains)*24
@@ -172,10 +183,31 @@ func (s *State) sizeHint() int {
 	return n
 }
 
-// Encode serializes the state into its canonical byte form.
+// Encode serializes the state into its canonical byte form — a
+// convenience wrapper that streams s through an Encoder into one
+// buffer. Callers holding fleet-scale state should prefer NewEncoder
+// against a file or socket and skip the intermediate buffer entirely.
 func (s *State) Encode() []byte {
-	w := &writer{buf: make([]byte, 0, s.sizeHint())}
-	w.raw(magic[:])
+	var buf bytes.Buffer
+	buf.Grow(s.sizeHint())
+	enc, err := NewEncoder(&buf, s, len(s.Accounts))
+	if err != nil {
+		panic(err) // a bytes.Buffer write cannot fail
+	}
+	for i := range s.Accounts {
+		if err := enc.WriteAccount(&s.Accounts[i]); err != nil {
+			panic(err)
+		}
+	}
+	if err := enc.Close(); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// encodeMeta writes every non-account section plus the account count
+// — the meta frame's payload.
+func (s *State) encodeMeta(w *writer, accounts int) {
 	s.Config.encode(w)
 	w.count(len(s.Plan))
 	for _, b := range s.Plan {
@@ -205,36 +237,32 @@ func (s *State) Encode() []byte {
 		w.str(c.Account)
 		w.u64(c.LastSeen)
 	}
-	w.count(len(s.Accounts))
-	for _, a := range s.Accounts {
-		w.str(a.Address)
-		w.str(a.Password)
-		w.str(a.Owner)
-		w.str(a.SendFrom)
-		w.i64(a.NextID)
-		w.count(len(a.Messages))
-		for _, m := range a.Messages {
-			w.i64(m.ID)
-			w.str(m.Folder)
-			w.str(m.From)
-			w.str(m.To)
-			w.str(m.Subject)
-			w.str(m.Body)
-			w.i64(m.DateNS)
-			w.bool(m.Read)
-			w.bool(m.Starred)
-			w.count(len(m.Labels))
-			for _, l := range m.Labels {
-				w.str(l)
-			}
+	w.count(accounts)
+}
+
+// encodeAccount writes one account record into an accounts frame.
+func encodeAccount(w *writer, a *Account) {
+	w.str(a.Address)
+	w.str(a.Password)
+	w.str(a.Owner)
+	w.str(a.SendFrom)
+	w.i64(a.NextID)
+	w.count(len(a.Messages))
+	for _, m := range a.Messages {
+		w.i64(m.ID)
+		w.str(m.Folder)
+		w.str(m.From)
+		w.str(m.To)
+		w.str(m.Subject)
+		w.str(m.Body)
+		w.i64(m.DateNS)
+		w.bool(m.Read)
+		w.bool(m.Starred)
+		w.count(len(m.Labels))
+		for _, l := range m.Labels {
+			w.str(l)
 		}
 	}
-	sum := fnv64(w.buf)
-	var tail [8]byte
-	for i := 0; i < 8; i++ {
-		tail[i] = byte(sum >> (8 * i))
-	}
-	return append(w.buf, tail[:]...)
 }
 
 func (c *Config) encode(w *writer) {
@@ -266,38 +294,44 @@ func (s *Stream) encode(w *writer) {
 	w.u64(s.Pos)
 }
 
-// Decode parses a canonical snapshot, verifying magic, version and
-// checksum. It returns a descriptive error on any malformed input.
+// Decode parses a canonical snapshot, verifying magic, version, every
+// frame checksum and the trailer. It returns a descriptive error on
+// any malformed input. Callers resuming fleet-scale snapshots should
+// prefer NewDecoder and stream the accounts instead of materializing
+// them all here.
 func Decode(data []byte) (*State, error) {
-	if len(data) < len(magic)+8 {
-		return nil, fmt.Errorf("snapshot: %d bytes is shorter than the smallest valid snapshot", len(data))
+	d, err := NewDecoder(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
 	}
-	payload, tail := data[:len(data)-8], data[len(data)-8:]
-	sum := fnv64(payload)
-	for i := 0; i < 8; i++ {
-		if tail[i] != byte(sum>>(8*i)) {
-			return nil, fmt.Errorf("snapshot: checksum mismatch (corrupt or truncated file)")
+	return decodeAll(d)
+}
+
+// decodeAll drains a decoder into a fully materialized State.
+func decodeAll(d *Decoder) (*State, error) {
+	s := d.Meta()
+	for {
+		var a Account
+		err := d.Next(&a)
+		if err == io.EOF {
+			return s, nil
 		}
+		if err != nil {
+			return nil, err
+		}
+		s.Accounts = append(s.Accounts, a)
 	}
-	r := &reader{data: payload}
-	var got [8]byte
-	if err := r.raw(got[:]); err != nil {
-		return nil, err
-	}
-	if !bytes.Equal(got[:7], magic[:7]) {
-		return nil, fmt.Errorf("snapshot: bad magic %q", got[:7])
-	}
-	if got[7] != Version {
-		return nil, fmt.Errorf("snapshot: unsupported format version %d (this build reads version %d)", got[7], Version)
-	}
-	s := &State{}
-	var err error
+}
+
+// decodeMeta parses the meta frame payload: every non-account section
+// plus the declared account count.
+func (s *State) decodeMeta(r *reader) (accounts int, err error) {
 	if err = s.Config.decode(r); err != nil {
-		return nil, err
+		return 0, err
 	}
 	nPlan, err := r.count("plan blocks")
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
 	if nPlan > 0 {
 		s.Plan = make([]Block, nPlan)
@@ -305,30 +339,30 @@ func Decode(data []byte) (*State, error) {
 	for i := range s.Plan {
 		b := &s.Plan[i]
 		if b.ID, err = r.intField("plan id"); err != nil {
-			return nil, err
+			return 0, err
 		}
 		if b.Count, err = r.intField("plan count"); err != nil {
-			return nil, err
+			return 0, err
 		}
 		if b.Channel, err = r.str("plan channel"); err != nil {
-			return nil, err
+			return 0, err
 		}
 		if b.Hint, err = r.str("plan hint"); err != nil {
-			return nil, err
+			return 0, err
 		}
 		if b.Label, err = r.str("plan label"); err != nil {
-			return nil, err
+			return 0, err
 		}
 	}
 	if err = s.Root.decode(r, "root stream"); err != nil {
-		return nil, err
+		return 0, err
 	}
 	if err = s.Setup.decode(r, "setup stream"); err != nil {
-		return nil, err
+		return 0, err
 	}
 	nShards, err := r.count("shards")
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
 	if nShards > 0 {
 		s.Shards = make([]Shard, nShards)
@@ -336,20 +370,20 @@ func Decode(data []byte) (*State, error) {
 	for i := range s.Shards {
 		sh := &s.Shards[i]
 		if sh.NowNS, err = r.i64("shard now"); err != nil {
-			return nil, err
+			return 0, err
 		}
 		if sh.Seq, err = r.u64("shard seq"); err != nil {
-			return nil, err
+			return 0, err
 		}
 		if sh.Fired, err = r.u64("shard fired"); err != nil {
-			return nil, err
+			return 0, err
 		}
 		if sh.Pending, err = r.count("shard pending"); err != nil {
-			return nil, err
+			return 0, err
 		}
 		nChains, err := r.count("shard chains")
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		if nChains > 0 {
 			sh.Chains = make([]Chain, nChains)
@@ -357,19 +391,19 @@ func Decode(data []byte) (*State, error) {
 		for j := range sh.Chains {
 			c := &sh.Chains[j]
 			if c.IntervalNS, err = r.i64("chain interval"); err != nil {
-				return nil, err
+				return 0, err
 			}
 			if c.PhaseNS, err = r.i64("chain phase"); err != nil {
-				return nil, err
+				return 0, err
 			}
 			if c.Entries, err = r.count("chain entries"); err != nil {
-				return nil, err
+				return 0, err
 			}
 		}
 	}
 	nCursors, err := r.count("cursors")
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
 	if nCursors > 0 {
 		s.Cursors = make([]Cursor, nCursors)
@@ -377,90 +411,94 @@ func Decode(data []byte) (*State, error) {
 	for i := range s.Cursors {
 		c := &s.Cursors[i]
 		if c.Account, err = r.str("cursor account"); err != nil {
-			return nil, err
+			return 0, err
 		}
 		if c.LastSeen, err = r.u64("cursor value"); err != nil {
-			return nil, err
+			return 0, err
 		}
 	}
-	nAccounts, err := r.count("accounts")
+	// The accounts live in their own frames, so their count cannot be
+	// bounded by this frame's remaining bytes the way r.count bounds
+	// in-frame collections; the per-frame reads in the Decoder bound
+	// the actual allocation instead.
+	nAccounts, err := r.u64("accounts")
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
-	if nAccounts > 0 {
-		s.Accounts = make([]Account, nAccounts)
+	if nAccounts > maxFrameLen {
+		return 0, fmt.Errorf("snapshot: account count %d exceeds limit", nAccounts)
 	}
-	for i := range s.Accounts {
-		a := &s.Accounts[i]
-		if a.Address, err = r.str("account address"); err != nil {
-			return nil, err
+	return int(nAccounts), nil
+}
+
+// decodeAccount parses one account record from an accounts frame.
+func decodeAccount(r *reader, a *Account) error {
+	var err error
+	if a.Address, err = r.str("account address"); err != nil {
+		return err
+	}
+	if a.Password, err = r.str("account password"); err != nil {
+		return err
+	}
+	if a.Owner, err = r.str("account owner"); err != nil {
+		return err
+	}
+	if a.SendFrom, err = r.str("account send-from"); err != nil {
+		return err
+	}
+	if a.NextID, err = r.i64("account next id"); err != nil {
+		return err
+	}
+	nMsgs, err := r.count("messages")
+	if err != nil {
+		return err
+	}
+	if nMsgs > 0 {
+		a.Messages = make([]Message, nMsgs)
+	}
+	for j := range a.Messages {
+		m := &a.Messages[j]
+		if m.ID, err = r.i64("message id"); err != nil {
+			return err
 		}
-		if a.Password, err = r.str("account password"); err != nil {
-			return nil, err
+		if m.Folder, err = r.str("message folder"); err != nil {
+			return err
 		}
-		if a.Owner, err = r.str("account owner"); err != nil {
-			return nil, err
+		if m.From, err = r.str("message from"); err != nil {
+			return err
 		}
-		if a.SendFrom, err = r.str("account send-from"); err != nil {
-			return nil, err
+		if m.To, err = r.str("message to"); err != nil {
+			return err
 		}
-		if a.NextID, err = r.i64("account next id"); err != nil {
-			return nil, err
+		if m.Subject, err = r.str("message subject"); err != nil {
+			return err
 		}
-		nMsgs, err := r.count("messages")
+		if m.Body, err = r.str("message body"); err != nil {
+			return err
+		}
+		if m.DateNS, err = r.i64("message date"); err != nil {
+			return err
+		}
+		if m.Read, err = r.bool("message read flag"); err != nil {
+			return err
+		}
+		if m.Starred, err = r.bool("message starred flag"); err != nil {
+			return err
+		}
+		nLabels, err := r.count("labels")
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if nMsgs > 0 {
-			a.Messages = make([]Message, nMsgs)
-		}
-		for j := range a.Messages {
-			m := &a.Messages[j]
-			if m.ID, err = r.i64("message id"); err != nil {
-				return nil, err
-			}
-			if m.Folder, err = r.str("message folder"); err != nil {
-				return nil, err
-			}
-			if m.From, err = r.str("message from"); err != nil {
-				return nil, err
-			}
-			if m.To, err = r.str("message to"); err != nil {
-				return nil, err
-			}
-			if m.Subject, err = r.str("message subject"); err != nil {
-				return nil, err
-			}
-			if m.Body, err = r.str("message body"); err != nil {
-				return nil, err
-			}
-			if m.DateNS, err = r.i64("message date"); err != nil {
-				return nil, err
-			}
-			if m.Read, err = r.bool("message read flag"); err != nil {
-				return nil, err
-			}
-			if m.Starred, err = r.bool("message starred flag"); err != nil {
-				return nil, err
-			}
-			nLabels, err := r.count("labels")
-			if err != nil {
-				return nil, err
-			}
-			if nLabels > 0 {
-				m.Labels = make([]string, nLabels)
-				for k := range m.Labels {
-					if m.Labels[k], err = r.str("label"); err != nil {
-						return nil, err
-					}
+		if nLabels > 0 {
+			m.Labels = make([]string, nLabels)
+			for k := range m.Labels {
+				if m.Labels[k], err = r.str("label"); err != nil {
+					return err
 				}
 			}
 		}
 	}
-	if r.off != len(r.data) {
-		return nil, fmt.Errorf("snapshot: %d trailing bytes after state", len(r.data)-r.off)
-	}
-	return s, nil
+	return nil
 }
 
 func (c *Config) decode(r *reader) error {
@@ -524,30 +562,49 @@ func (s *Stream) decode(r *reader, what string) error {
 	return err
 }
 
-// WriteFile writes the canonical encoding to path (0644).
+// WriteFile streams the canonical encoding to path (0644) through an
+// Encoder, never holding more than one frame of encoded bytes.
 func (s *State) WriteFile(path string) error {
-	if err := os.WriteFile(path, s.Encode(), 0o644); err != nil {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return fmt.Errorf("snapshot: %w", err)
 	}
-	return nil
+	bw := bufio.NewWriterSize(f, readChunk)
+	werr := func() error {
+		enc, err := NewEncoder(bw, s, len(s.Accounts))
+		if err != nil {
+			return err
+		}
+		for i := range s.Accounts {
+			if err := enc.WriteAccount(&s.Accounts[i]); err != nil {
+				return err
+			}
+		}
+		if err := enc.Close(); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}()
+	if cerr := f.Close(); werr == nil && cerr != nil {
+		werr = fmt.Errorf("snapshot: %w", cerr)
+	}
+	return werr
 }
 
-// ReadFile loads and decodes a snapshot file.
+// ReadFile streams and decodes a snapshot file.
 func ReadFile(path string) (*State, error) {
-	data, err := os.ReadFile(path)
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: %w", err)
 	}
-	s, err := Decode(data)
+	defer f.Close()
+	d, err := NewDecoder(bufio.NewReaderSize(f, readChunk))
+	if err != nil {
+		return nil, fmt.Errorf("%w (file %s)", err, path)
+	}
+	s, err := decodeAll(d)
 	if err != nil {
 		return nil, fmt.Errorf("%w (file %s)", err, path)
 	}
 	return s, nil
-}
-
-// fnv64 is FNV-1a over data — the snapshot's integrity checksum.
-func fnv64(data []byte) uint64 {
-	h := fnv.New64a()
-	h.Write(data)
-	return h.Sum64()
 }

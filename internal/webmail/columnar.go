@@ -1,0 +1,265 @@
+package webmail
+
+import (
+	"strings"
+	"time"
+
+	"repro/internal/colstore"
+	"repro/internal/netsim"
+)
+
+// This file holds the struct-of-arrays storage behind the per-account
+// hot state. The service's public API is unchanged — Session and
+// Service still traffic in Access, Message and Event values — but
+// internally each account keeps its access rows, message metadata and
+// journal as parallel typed columns instead of slices of heap-boxed
+// structs. A million-account fleet then carries one slice header per
+// column instead of one GC-traced object per row, and every string
+// field (cookies, user agents, geo names) lives in the owning
+// partition's arena-backed string table.
+
+// accessTable is the columnar activity page: row i describes one
+// cookie's access row. order is the permutation sorted by
+// (firstNS, cookie) — the page's display order; the clock is
+// monotonic, so new rows tail-insert with at most a few swaps inside
+// a same-instant tie block.
+type accessTable struct {
+	cookie   []string
+	firstNS  []int64
+	lastNS   []int64
+	ip       []string
+	city     []string
+	country  []string
+	lat      []float64
+	lon      []float64
+	hasPoint []bool
+	ua       []string
+	browser  []netsim.Browser
+	device   []netsim.DeviceClass
+	visits   []int32
+	rev      []uint64
+
+	byCookie map[string]int32
+	order    []int32
+}
+
+func (t *accessTable) len() int { return len(t.cookie) }
+
+func (t *accessTable) lookup(cookie string) (int32, bool) {
+	i, ok := t.byCookie[cookie]
+	return i, ok
+}
+
+// add appends a new access row, interning its strings into the
+// partition's table, and splices it into display order. The cookie is
+// unique by construction so it takes the no-dedup arena path; user
+// agents and geo names deduplicate across the whole partition.
+func (t *accessTable) add(sym *colstore.Interner, cookie string, firstNS int64, ep netsim.Endpoint, browser netsim.Browser, device netsim.DeviceClass) int32 {
+	i := int32(len(t.cookie))
+	t.cookie = append(t.cookie, sym.Copy(cookie))
+	t.firstNS = append(t.firstNS, firstNS)
+	t.lastNS = append(t.lastNS, firstNS)
+	t.ip = append(t.ip, sym.Intern(ep.Addr.String()))
+	t.city = append(t.city, sym.Intern(ep.City))
+	t.country = append(t.country, sym.Intern(ep.Country))
+	t.lat = append(t.lat, ep.Point.Lat)
+	t.lon = append(t.lon, ep.Point.Lon)
+	t.hasPoint = append(t.hasPoint, ep.HasLocation())
+	t.ua = append(t.ua, sym.Intern(ep.UserAgent))
+	t.browser = append(t.browser, browser)
+	t.device = append(t.device, device)
+	t.visits = append(t.visits, 0)
+	t.rev = append(t.rev, 0)
+	if t.byCookie == nil {
+		t.byCookie = make(map[string]int32)
+	}
+	t.byCookie[t.cookie[i]] = i
+
+	// Tail insert into display order; ties on firstNS order by cookie.
+	t.order = append(t.order, i)
+	for j := len(t.order) - 1; j > 0; j-- {
+		p := t.order[j-1]
+		if t.firstNS[p] < firstNS ||
+			(t.firstNS[p] == firstNS && t.cookie[p] < t.cookie[i]) {
+			break
+		}
+		t.order[j-1], t.order[j] = t.order[j], t.order[j-1]
+	}
+	return i
+}
+
+// materialize rebuilds the public Access value for row i. Times are
+// reconstructed with time.Unix(0, ns).UTC(), the same canonical
+// representation the simulation clock produces, so struct equality
+// against clock-stamped values (the monitor's delta diff relies on
+// it) is preserved.
+func (t *accessTable) materialize(i int32) Access {
+	return Access{
+		Cookie:    t.cookie[i],
+		First:     time.Unix(0, t.firstNS[i]).UTC(),
+		Last:      time.Unix(0, t.lastNS[i]).UTC(),
+		IP:        t.ip[i],
+		City:      t.city[i],
+		Country:   t.country[i],
+		Lat:       t.lat[i],
+		Lon:       t.lon[i],
+		HasPoint:  t.hasPoint[i],
+		UserAgent: t.ua[i],
+		Browser:   t.browser[i],
+		Device:    t.device[i],
+		Visits:    int(t.visits[i]),
+		rev:       t.rev[i],
+	}
+}
+
+// msgText is the out-of-line payload of one message: the string
+// fields search and listing need, kept behind one pointer so the
+// per-message metadata columns stay compact for snapshot/count scans
+// that never touch text. haystack bakes lazily on first search.
+type msgText struct {
+	from, to, subject, body string
+	labels                  []string
+	haystack                string
+}
+
+func (t *msgText) bake() {
+	t.haystack = strings.ToLower(t.subject + "\n" + t.body)
+}
+
+// matchTerms reports whether the message matches every pre-lowered
+// term. bake always produces at least the "\n" joiner, so an empty
+// haystack is exactly "never baked".
+func (t *msgText) matchTerms(terms []string) bool {
+	if len(terms) == 0 {
+		return false
+	}
+	if t.haystack == "" {
+		t.bake()
+	}
+	for _, term := range terms {
+		if !strings.Contains(t.haystack, term) {
+			return false
+		}
+	}
+	return true
+}
+
+// msgStore is the columnar mailbox: row i holds MessageID(i+1).
+// A nil text marks a vacated row (a draft deleted by SendDraft);
+// message IDs are never reused, so the dense layout gives ascending-ID
+// iteration for free — Snapshot and ExportAccount no longer sort.
+type msgStore struct {
+	folder  []Folder
+	read    []bool
+	starred []bool
+	dateNS  []int64
+	text    []*msgText
+}
+
+func (ms *msgStore) rows() int { return len(ms.text) }
+
+// index maps a message ID to its row, or -1 when absent/vacated.
+func (ms *msgStore) index(id MessageID) int {
+	i := int(id) - 1
+	if i < 0 || i >= len(ms.text) || ms.text[i] == nil {
+		return -1
+	}
+	return i
+}
+
+// append adds the next sequential message (id == rows()+1, the hot
+// path for Seed/Send/Deliver) and returns its row.
+func (ms *msgStore) append(folder Folder, text *msgText, dateNS int64, read bool) int {
+	i := len(ms.text)
+	ms.folder = append(ms.folder, folder)
+	ms.read = append(ms.read, read)
+	ms.starred = append(ms.starred, false)
+	ms.dateNS = append(ms.dateNS, dateNS)
+	ms.text = append(ms.text, text)
+	return i
+}
+
+// place installs a message at an arbitrary ID (snapshot restore),
+// padding any gap with vacated rows. Reports false when the slot is
+// already occupied.
+func (ms *msgStore) place(id MessageID, folder Folder, text *msgText, dateNS int64, read, starred bool) bool {
+	i := int(id) - 1
+	for len(ms.text) <= i {
+		ms.append("", nil, 0, false)
+	}
+	if ms.text[i] != nil {
+		return false
+	}
+	ms.folder[i] = folder
+	ms.read[i] = read
+	ms.starred[i] = starred
+	ms.dateNS[i] = dateNS
+	ms.text[i] = text
+	return true
+}
+
+// vacate removes a message (draft sent away). The row stays as a
+// tombstone so later IDs keep their positions.
+func (ms *msgStore) vacate(i int) {
+	ms.text[i] = nil
+	ms.folder[i] = ""
+	ms.read[i] = false
+	ms.starred[i] = false
+	ms.dateNS[i] = 0
+}
+
+// materialize rebuilds the public Message value for row i.
+func (ms *msgStore) materialize(i int) Message {
+	t := ms.text[i]
+	m := Message{
+		ID:      MessageID(i + 1),
+		Folder:  ms.folder[i],
+		From:    t.from,
+		To:      t.to,
+		Subject: t.subject,
+		Body:    t.body,
+		Date:    time.Unix(0, ms.dateNS[i]).UTC(),
+		Read:    ms.read[i],
+		Starred: ms.starred[i],
+	}
+	if len(t.labels) > 0 {
+		m.Labels = append([]string(nil), t.labels...)
+	}
+	return m
+}
+
+// journalTable is the columnar ground-truth journal. The account
+// column is implicit (every entry belongs to the owning account) and
+// times are bare nanoseconds — an Event row costs 8+8+16+8+16 bytes
+// of column data instead of a 120-byte boxed struct.
+type journalTable struct {
+	timeNS  []int64
+	kind    []EventKind
+	cookie  []string
+	message []MessageID
+	detail  []string
+}
+
+func (j *journalTable) len() int { return len(j.kind) }
+
+// append records one event; the cookie is interned (the same handful
+// of cookies repeats across thousands of events).
+func (j *journalTable) append(sym *colstore.Interner, e Event) {
+	j.timeNS = append(j.timeNS, e.Time.UnixNano())
+	j.kind = append(j.kind, e.Kind)
+	j.cookie = append(j.cookie, sym.Intern(e.Cookie))
+	j.message = append(j.message, e.Message)
+	j.detail = append(j.detail, e.Detail)
+}
+
+// materialize rebuilds the public Event value for row i.
+func (j *journalTable) materialize(i int, account string) Event {
+	return Event{
+		Time:    time.Unix(0, j.timeNS[i]).UTC(),
+		Kind:    j.kind[i],
+		Account: account,
+		Cookie:  j.cookie[i],
+		Message: j.message[i],
+		Detail:  j.detail[i],
+	}
+}

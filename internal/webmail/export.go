@@ -45,7 +45,7 @@ func (s *Service) ExportAccount(address string) (AccountExport, error) {
 		return AccountExport{}, err
 	}
 	defer p.mu.Unlock()
-	if len(a.journal) > 0 || len(a.accesses) > 0 || a.suspended ||
+	if a.journal.len() > 0 || a.acc.len() > 0 || a.suspended ||
 		a.version.Load() != 0 || a.accessVersion.Load() != 0 {
 		return AccountExport{}, fmt.Errorf("webmail: account %s has live activity; only pre-activity accounts export", address)
 	}
@@ -56,22 +56,18 @@ func (s *Service) ExportAccount(address string) (AccountExport, error) {
 		SendFrom: a.sendFrom,
 		NextID:   int64(a.nextID),
 	}
-	ids := make([]MessageID, 0, len(a.messages))
-	for id := range a.messages {
-		ids = append(ids, id)
-	}
-	for i := 1; i < len(ids); i++ { // insertion sort: IDs are near-sequential
-		for j := i; j > 0 && ids[j-1] > ids[j]; j-- {
-			ids[j-1], ids[j] = ids[j], ids[j-1]
+	// Columnar rows are ID-ascending by construction — the canonical
+	// export order falls out of a straight scan.
+	for i, t := range a.msgs.text {
+		if t == nil {
+			continue
 		}
-	}
-	for _, id := range ids {
-		m := a.messages[id]
 		out.Messages = append(out.Messages, MessageExport{
-			ID: int64(m.ID), Folder: string(m.Folder),
-			From: m.From, To: m.To, Subject: m.Subject, Body: m.Body,
-			Date: m.Date, Read: m.Read, Starred: m.Starred,
-			Labels: append([]string(nil), m.Labels...),
+			ID: int64(i + 1), Folder: string(a.msgs.folder[i]),
+			From: t.from, To: t.to, Subject: t.subject, Body: t.body,
+			Date: time.Unix(0, a.msgs.dateNS[i]).UTC(),
+			Read: a.msgs.read[i], Starred: a.msgs.starred[i],
+			Labels: append([]string(nil), t.labels...),
 		})
 	}
 	return out, nil
@@ -96,30 +92,23 @@ func (s *Service) RestoreAccountIn(part int, exp AccountExport) error {
 		owner:    exp.Owner,
 		sendFrom: exp.SendFrom,
 		nextID:   MessageID(exp.NextID),
-		messages: make(map[MessageID]*Message, len(exp.Messages)),
-		accesses: make(map[string]*Access),
 	}
 	for _, me := range exp.Messages {
 		id := MessageID(me.ID)
 		if id <= 0 || id >= a.nextID {
 			return fmt.Errorf("webmail: restore %s: message id %d outside [1,%d)", exp.Address, me.ID, exp.NextID)
 		}
-		if _, dup := a.messages[id]; dup {
+		// The search haystack bakes lazily on first search (see
+		// msgText.matchTerms): restoring a fleet of mailboxes from a
+		// snapshot must not pay a ToLower over every byte of seeded
+		// text that may never be searched.
+		t := &msgText{from: me.From, to: me.To, subject: me.Subject, body: me.Body}
+		if len(me.Labels) > 0 {
+			t.labels = append([]string(nil), me.Labels...)
+		}
+		if !a.msgs.place(id, Folder(me.Folder), t, me.Date.UnixNano(), me.Read, me.Starred) {
 			return fmt.Errorf("webmail: restore %s: duplicate message id %d", exp.Address, me.ID)
 		}
-		m := &Message{
-			ID: id, Folder: Folder(me.Folder),
-			From: me.From, To: me.To, Subject: me.Subject, Body: me.Body,
-			Date: me.Date, Read: me.Read, Starred: me.Starred,
-		}
-		if len(me.Labels) > 0 {
-			m.Labels = append([]string(nil), me.Labels...)
-		}
-		// The search haystack bakes lazily on first search (see
-		// matchTerms): restoring a fleet of mailboxes from a snapshot
-		// must not pay a ToLower over every byte of seeded text that
-		// may never be searched.
-		a.messages[id] = m
 	}
 	p := s.parts[part]
 	// Same lock order as CreateAccountIn: index lock, then partition.

@@ -4,11 +4,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/colstore"
 	"repro/internal/netsim"
 	"repro/internal/simtime"
 )
@@ -20,21 +20,21 @@ type account struct {
 	owner     string // display name
 	suspended bool
 
-	nextID   MessageID
-	messages map[MessageID]*Message
+	nextID MessageID
+	// msgs holds message state as parallel columns (see columnar.go);
+	// row i is MessageID(i+1), so iteration is ID-ascending for free.
+	msgs msgStore
 
 	// sendFrom, when set, overrides the envelope sender of outgoing
 	// mail. The honeynet points it at the sinkhole domain so replies
 	// and bounces never reach real parties (§3.1).
 	sendFrom string
 
-	accesses map[string]*Access // by cookie
-	// accessOrder holds the same rows sorted by (First, Cookie) — the
-	// activity page's display order. The clock is monotonic, so new
-	// rows insert at (or within a same-instant tie block near) the
-	// tail and ActivityPage never re-sorts.
-	accessOrder []*Access
-	journal     []Event
+	// acc holds the activity page as parallel columns in display
+	// order (First, then Cookie); strings live in the partition's
+	// arena-backed table.
+	acc     accessTable
+	journal journalTable
 
 	passwordChanges int
 	searchLog       []string
@@ -58,28 +58,12 @@ type account struct {
 }
 
 // bumpAccessLocked advances the scraper-visible change counter and
-// stamps the changed row (nil for row-less events: password change,
+// stamps the changed row (-1 for row-less events: password change,
 // suspension). Callers hold the owning partition's lock.
-func (a *account) bumpAccessLocked(row *Access) {
+func (a *account) bumpAccessLocked(row int32) {
 	v := a.accessVersion.Add(1)
-	if row != nil {
-		row.rev = v
-	}
-}
-
-// insertAccessLocked places a new row into accessOrder, keeping it
-// sorted by (First, Cookie). Time never moves backwards, so the row
-// belongs at the tail; only rows created at the same instant need a
-// few swaps to restore cookie order within the tie block.
-func (a *account) insertAccessLocked(row *Access) {
-	a.accessOrder = append(a.accessOrder, row)
-	for i := len(a.accessOrder) - 1; i > 0; i-- {
-		prev := a.accessOrder[i-1]
-		if prev.First.Before(row.First) ||
-			(prev.First.Equal(row.First) && prev.Cookie < row.Cookie) {
-			break
-		}
-		a.accessOrder[i-1], a.accessOrder[i] = a.accessOrder[i], a.accessOrder[i-1]
+	if row >= 0 {
+		a.acc.rev[row] = v
 	}
 }
 
@@ -93,6 +77,11 @@ type partition struct {
 
 	mu       sync.Mutex
 	accounts map[string]*account
+
+	// sym is the partition's arena-backed string table: cookies, user
+	// agents, IPs and geo names across every account in the partition
+	// share it. Guarded by mu.
+	sym colstore.Interner
 
 	// now supplies virtual time for this partition's accounts. In a
 	// sharded experiment every partition is bound to its shard's
@@ -275,8 +264,6 @@ func (s *Service) CreateAccountIn(part int, address, password, ownerName string)
 		password: password,
 		owner:    ownerName,
 		nextID:   1,
-		messages: make(map[MessageID]*Message),
-		accesses: make(map[string]*Access),
 	}
 	return nil
 }
@@ -312,13 +299,11 @@ func (s *Service) Seed(address string, folder Folder, from, to, subject, body st
 	defer p.mu.Unlock()
 	id := a.nextID
 	a.nextID++
-	m := &Message{
-		ID: id, Folder: folder, From: from, To: to,
-		Subject: subject, Body: body, Date: date,
-		Read: folder == FolderSent, // own sent mail is "read"
-	}
-	m.bake()
-	a.messages[id] = m
+	// The search haystack bakes lazily on first search (matchTerms):
+	// seeding a fleet of 90-message mailboxes must not pay a ToLower
+	// over text that may never be searched.
+	a.msgs.append(folder, &msgText{from: from, to: to, subject: subject, body: body},
+		date.UnixNano(), folder == FolderSent) // own sent mail is "read"
 	return id, nil
 }
 
@@ -344,29 +329,21 @@ func (s *Service) Login(address, password, cookie string, ep netsim.Endpoint) (*
 	}
 	now := p.now()
 	if s.risk.Enabled && s.risky(a, ep) {
-		s.journalLocked(a, Event{Time: now, Kind: EventLoginBlocked, Account: address, Cookie: cookie, Detail: ep.Addr.String()})
+		s.journalLocked(p, a, Event{Time: now, Kind: EventLoginBlocked, Account: address, Cookie: cookie, Detail: ep.Addr.String()})
 		return nil, ErrLoginBlocked
 	}
 	if cookie == "" {
 		cookie = s.jar.Issue()
 	}
-	acc, seen := a.accesses[cookie]
+	row, seen := a.acc.lookup(cookie)
 	if !seen {
 		browser, device := netsim.ClassifyUserAgent(ep.UserAgent)
-		acc = &Access{
-			Cookie: cookie, First: now, IP: ep.Addr.String(),
-			City: ep.City, Country: ep.Country,
-			Lat: ep.Point.Lat, Lon: ep.Point.Lon,
-			HasPoint:  ep.HasLocation(),
-			UserAgent: ep.UserAgent, Browser: browser, Device: device,
-		}
-		a.accesses[cookie] = acc
-		a.insertAccessLocked(acc)
+		row = a.acc.add(&p.sym, cookie, now.UnixNano(), ep, browser, device)
 	}
-	acc.Last = now
-	acc.Visits++
-	a.bumpAccessLocked(acc)
-	s.journalLocked(a, Event{Time: now, Kind: EventLogin, Account: address, Cookie: cookie, Detail: ep.Addr.String()})
+	a.acc.lastNS[row] = now.UnixNano()
+	a.acc.visits[row]++
+	a.bumpAccessLocked(row)
+	s.journalLocked(p, a, Event{Time: now, Kind: EventLogin, Account: address, Cookie: cookie, Detail: ep.Addr.String()})
 	return &Session{svc: s, part: p, account: address, cookie: cookie, passwordAt: a.passwordChanges}, nil
 }
 
@@ -417,8 +394,8 @@ func (s *Service) Suspend(address, reason string) error {
 	defer p.mu.Unlock()
 	if !a.suspended {
 		a.suspended = true
-		a.bumpAccessLocked(nil) // scraper-visible: the next login fails
-		s.journalLocked(a, Event{Time: p.now(), Kind: EventSuspend, Account: address, Detail: reason})
+		a.bumpAccessLocked(-1) // scraper-visible: the next login fails
+		s.journalLocked(p, a, Event{Time: p.now(), Kind: EventSuspend, Account: address, Detail: reason})
 	}
 	return nil
 }
@@ -468,8 +445,10 @@ func (s *Service) Journal(address string) []Event {
 		return nil
 	}
 	defer p.mu.Unlock()
-	out := make([]Event, len(a.journal))
-	copy(out, a.journal)
+	out := make([]Event, a.journal.len())
+	for i := range out {
+		out[i] = a.journal.materialize(i, a.address)
+	}
 	return out
 }
 
@@ -493,8 +472,8 @@ func (s *Service) SearchLog(address string) []string {
 // events that change what Snapshot reports (reads, stars, sends,
 // drafts) so that pollers can skip accounts whose mailbox is
 // untouched — logins and searches alone do not force a rescan.
-func (s *Service) journalLocked(a *account, e Event) {
-	a.journal = append(a.journal, e)
+func (s *Service) journalLocked(p *partition, a *account, e Event) {
+	a.journal.append(&p.sym, e)
 	switch e.Kind {
 	case EventRead, EventStar, EventSend, EventDraftCreate, EventDraftUpdate:
 		a.version.Add(1)
@@ -593,8 +572,12 @@ func (s *Service) Counts(address string) (FolderCounts, error) {
 	}
 	defer p.mu.Unlock()
 	var c FolderCounts
-	for _, m := range a.messages {
-		switch m.Folder {
+	// Pure column scan: folder/read/starred only, text untouched.
+	for i, f := range a.msgs.folder {
+		if a.msgs.text[i] == nil {
+			continue
+		}
+		switch f {
 		case FolderInbox:
 			c.Inbox++
 		case FolderSent:
@@ -604,10 +587,10 @@ func (s *Service) Counts(address string) (FolderCounts, error) {
 		case FolderTrash:
 			c.Trash++
 		}
-		if !m.Read && m.Folder == FolderInbox {
+		if !a.msgs.read[i] && f == FolderInbox {
 			c.Unread++
 		}
-		if m.Starred {
+		if a.msgs.starred[i] {
 			c.Starred++
 		}
 	}
@@ -625,12 +608,8 @@ func (s *Service) DeliverInbound(address, from, subject, body string) (MessageID
 	defer p.mu.Unlock()
 	id := a.nextID
 	a.nextID++
-	m := &Message{
-		ID: id, Folder: FolderInbox, From: from, To: address,
-		Subject: subject, Body: body, Date: p.now(),
-	}
-	m.bake()
-	a.messages[id] = m
+	a.msgs.append(FolderInbox, &msgText{from: from, to: address, subject: subject, body: body},
+		p.now().UnixNano(), false)
 	a.version.Add(1)
 	return id, nil
 }
@@ -654,25 +633,30 @@ func (s *Service) Snapshot(address string) (Snapshot, error) {
 		return Snapshot{}, err
 	}
 	defer p.mu.Unlock()
-	snap := Snapshot{Taken: p.now(), Drafts: make(map[MessageID]string)}
-	ids := make([]MessageID, 0, len(a.messages))
-	for id := range a.messages {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		m := a.messages[id]
-		if m.Read && m.Folder == FolderInbox {
+	snap := Snapshot{Taken: p.now()}
+	// Rows are ID-ascending by construction — a single column scan
+	// replaces the collect-then-sort the map store needed. The Drafts
+	// map is only allocated when a draft actually exists (most
+	// accounts never have one).
+	for i, f := range a.msgs.folder {
+		if a.msgs.text[i] == nil {
+			continue
+		}
+		id := MessageID(i + 1)
+		if a.msgs.read[i] && f == FolderInbox {
 			snap.Read = append(snap.Read, id)
 		}
-		if m.Starred {
+		if a.msgs.starred[i] {
 			snap.Starred = append(snap.Starred, id)
 		}
-		if m.Folder == FolderSent {
+		if f == FolderSent {
 			snap.Sent = append(snap.Sent, id)
 		}
-		if m.Folder == FolderDrafts {
-			snap.Drafts[id] = m.Body
+		if f == FolderDrafts {
+			if snap.Drafts == nil {
+				snap.Drafts = make(map[MessageID]string)
+			}
+			snap.Drafts[id] = a.msgs.text[i].body
 		}
 	}
 	return snap, nil
@@ -690,9 +674,9 @@ func (s *Service) ActivityPage(address string) ([]Access, error) {
 		return nil, err
 	}
 	defer p.mu.Unlock()
-	out := make([]Access, len(a.accessOrder))
-	for i, acc := range a.accessOrder {
-		out[i] = *acc
+	out := make([]Access, len(a.acc.order))
+	for i, row := range a.acc.order {
+		out[i] = a.acc.materialize(row)
 	}
 	return out, nil
 }
@@ -708,34 +692,12 @@ func (s *Service) Password(address string) (string, error) {
 	return a.password, nil
 }
 
-// messageLocked fetches a message or returns ErrNoSuchMessage.
-func (a *account) messageLocked(id MessageID) (*Message, error) {
-	m, ok := a.messages[id]
-	if !ok {
-		return nil, ErrNoSuchMessage
+// rowLocked resolves a message ID to its store row or returns
+// ErrNoSuchMessage.
+func (a *account) rowLocked(id MessageID) (int, error) {
+	i := a.msgs.index(id)
+	if i < 0 {
+		return 0, ErrNoSuchMessage
 	}
-	return m, nil
-}
-
-// matchTerms reports whether a message matches the pre-lowered terms
-// of a search query: every term must appear in the subject or body
-// (case-insensitively, via the precomputed haystack). Messages whose
-// bake was deferred — snapshot-restored mailboxes skip it so resume
-// stays cheap — bake here, on first search, and keep the result;
-// callers hold the owning partition's lock (Search does), so the
-// write is race-free. bake always produces at least the "\n" joiner,
-// so an empty haystack is exactly "never baked".
-func matchTerms(m *Message, terms []string) bool {
-	if len(terms) == 0 {
-		return false
-	}
-	if m.haystack == "" {
-		m.bake()
-	}
-	for _, t := range terms {
-		if !strings.Contains(m.haystack, t) {
-			return false
-		}
-	}
-	return true
+	return i, nil
 }

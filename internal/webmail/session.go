@@ -1,7 +1,8 @@
 package webmail
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 	"strings"
 )
 
@@ -39,15 +40,24 @@ func (se *Session) touch() (*account, error) {
 	if a.passwordChanges != se.passwordAt {
 		return nil, ErrSessionExpired
 	}
-	if acc, ok := a.accesses[se.cookie]; ok {
-		now := se.part.now()
-		if now.After(acc.Last) {
-			acc.Last = now
+	if row, ok := a.acc.lookup(se.cookie); ok {
+		nowNS := se.part.now().UnixNano()
+		if nowNS > a.acc.lastNS[row] {
+			a.acc.lastNS[row] = nowNS
 			// tlast is on the activity page: a scraper can observe it.
-			a.bumpAccessLocked(acc)
+			a.bumpAccessLocked(row)
 		}
 	}
 	return a, nil
+}
+
+// cmpMessage orders messages oldest first, IDs breaking ties — the
+// folder listing and search-result order.
+func cmpMessage(x, y Message) int {
+	if c := x.Date.Compare(y.Date); c != 0 {
+		return c
+	}
+	return cmp.Compare(x.ID, y.ID)
 }
 
 // List returns the messages of a folder, oldest first.
@@ -59,17 +69,12 @@ func (se *Session) List(folder Folder) ([]Message, error) {
 		return nil, err
 	}
 	var out []Message
-	for _, m := range a.messages {
-		if m.Folder == folder {
-			out = append(out, m.clone())
+	for i, f := range a.msgs.folder {
+		if f == folder && a.msgs.text[i] != nil {
+			out = append(out, a.msgs.materialize(i))
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if !out[i].Date.Equal(out[j].Date) {
-			return out[i].Date.Before(out[j].Date)
-		}
-		return out[i].ID < out[j].ID
-	})
+	slices.SortFunc(out, cmpMessage)
 	return out, nil
 }
 
@@ -82,18 +87,18 @@ func (se *Session) Read(id MessageID) (Message, error) {
 	if err != nil {
 		return Message{}, err
 	}
-	m, err := a.messageLocked(id)
+	i, err := a.rowLocked(id)
 	if err != nil {
 		return Message{}, err
 	}
-	if !m.Read {
-		m.Read = true
-		se.svc.journalLocked(a, Event{
+	if !a.msgs.read[i] {
+		a.msgs.read[i] = true
+		se.svc.journalLocked(se.part, a, Event{
 			Time: se.part.now(), Kind: EventRead,
 			Account: se.account, Cookie: se.cookie, Message: id,
 		})
 	}
-	return m.clone(), nil
+	return a.msgs.materialize(i), nil
 }
 
 // Star marks a message starred (favorited).
@@ -104,13 +109,13 @@ func (se *Session) Star(id MessageID) error {
 	if err != nil {
 		return err
 	}
-	m, err := a.messageLocked(id)
+	i, err := a.rowLocked(id)
 	if err != nil {
 		return err
 	}
-	if !m.Starred {
-		m.Starred = true
-		se.svc.journalLocked(a, Event{
+	if !a.msgs.starred[i] {
+		a.msgs.starred[i] = true
+		se.svc.journalLocked(se.part, a, Event{
 			Time: se.part.now(), Kind: EventStar,
 			Account: se.account, Cookie: se.cookie, Message: id,
 		})
@@ -130,23 +135,18 @@ func (se *Session) Search(query string) ([]Message, error) {
 	}
 	q := strings.TrimSpace(query)
 	a.searchLog = append(a.searchLog, q)
-	se.svc.journalLocked(a, Event{
+	se.svc.journalLocked(se.part, a, Event{
 		Time: se.part.now(), Kind: EventSearch,
 		Account: se.account, Cookie: se.cookie, Detail: q,
 	})
 	terms := strings.Fields(strings.ToLower(q))
 	var out []Message
-	for _, m := range a.messages {
-		if m.Folder != FolderTrash && matchTerms(m, terms) {
-			out = append(out, m.clone())
+	for i, t := range a.msgs.text {
+		if t != nil && a.msgs.folder[i] != FolderTrash && t.matchTerms(terms) {
+			out = append(out, a.msgs.materialize(i))
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if !out[i].Date.Equal(out[j].Date) {
-			return out[i].Date.Before(out[j].Date)
-		}
-		return out[i].ID < out[j].ID
-	})
+	slices.SortFunc(out, cmpMessage)
 	return out, nil
 }
 
@@ -160,14 +160,9 @@ func (se *Session) CreateDraft(to, subject, body string) (MessageID, error) {
 	}
 	id := a.nextID
 	a.nextID++
-	m := &Message{
-		ID: id, Folder: FolderDrafts, From: se.account, To: to,
-		Subject: subject, Body: body, Date: se.part.now(),
-		Read: true,
-	}
-	m.bake()
-	a.messages[id] = m
-	se.svc.journalLocked(a, Event{
+	a.msgs.append(FolderDrafts, &msgText{from: se.account, to: to, subject: subject, body: body},
+		se.part.now().UnixNano(), true)
+	se.svc.journalLocked(se.part, a, Event{
 		Time: se.part.now(), Kind: EventDraftCreate,
 		Account: se.account, Cookie: se.cookie, Message: id,
 	})
@@ -182,17 +177,18 @@ func (se *Session) UpdateDraft(id MessageID, to, subject, body string) error {
 	if err != nil {
 		return err
 	}
-	m, err := a.messageLocked(id)
+	i, err := a.rowLocked(id)
 	if err != nil {
 		return err
 	}
-	if m.Folder != FolderDrafts {
+	if a.msgs.folder[i] != FolderDrafts {
 		return ErrNotADraft
 	}
-	m.To, m.Subject, m.Body = to, subject, body
-	m.bake()
-	m.Date = se.part.now()
-	se.svc.journalLocked(a, Event{
+	t := a.msgs.text[i]
+	t.to, t.subject, t.body = to, subject, body
+	t.haystack = "" // re-bake lazily on next search
+	a.msgs.dateNS[i] = se.part.now().UnixNano()
+	se.svc.journalLocked(se.part, a, Event{
 		Time: se.part.now(), Kind: EventDraftUpdate,
 		Account: se.account, Cookie: se.cookie, Message: id,
 	})
@@ -219,13 +215,9 @@ func (se *Session) Send(to, subject, body string) (MessageID, error) {
 	}
 	id := a.nextID
 	a.nextID++
-	m := &Message{
-		ID: id, Folder: FolderSent, From: se.account, To: to,
-		Subject: subject, Body: body, Date: now, Read: true,
-	}
-	m.bake()
-	a.messages[id] = m
-	se.svc.journalLocked(a, Event{
+	a.msgs.append(FolderSent, &msgText{from: se.account, to: to, subject: subject, body: body},
+		now.UnixNano(), true)
+	se.svc.journalLocked(se.part, a, Event{
 		Time: now, Kind: EventSend,
 		Account: se.account, Cookie: se.cookie, Message: id, Detail: to,
 	})
@@ -234,8 +226,8 @@ func (se *Session) Send(to, subject, body string) (MessageID, error) {
 	}
 	if verdict := se.svc.abuse.recordSend(se.account, to, now); verdict != "" {
 		a.suspended = true
-		a.bumpAccessLocked(nil) // scraper-visible: the next login fails
-		se.svc.journalLocked(a, Event{Time: now, Kind: EventSuspend, Account: se.account, Detail: verdict})
+		a.bumpAccessLocked(-1) // scraper-visible: the next login fails
+		se.svc.journalLocked(se.part, a, Event{Time: now, Kind: EventSuspend, Account: se.account, Detail: verdict})
 	}
 	return id, nil
 }
@@ -248,16 +240,17 @@ func (se *Session) SendDraft(id MessageID) error {
 		se.part.mu.Unlock()
 		return err
 	}
-	m, err := a.messageLocked(id)
-	if err != nil || m.Folder != FolderDrafts {
+	i, err := a.rowLocked(id)
+	if err != nil || a.msgs.folder[i] != FolderDrafts {
 		se.part.mu.Unlock()
 		if err != nil {
 			return err
 		}
 		return ErrNotADraft
 	}
-	to, subject, body := m.To, m.Subject, m.Body
-	delete(a.messages, id)
+	t := a.msgs.text[i]
+	to, subject, body := t.to, t.subject, t.body
+	a.msgs.vacate(i)
 	se.part.mu.Unlock()
 	_, err = se.Send(to, subject, body)
 	return err
@@ -280,8 +273,8 @@ func (se *Session) ChangePassword(newPassword string) error {
 	// monitor's next login attempt fails, which is exactly the
 	// visibility-loss signal §4.2 describes — the version gate must
 	// open so that attempt happens on the very next scrape tick.
-	a.bumpAccessLocked(nil)
-	se.svc.journalLocked(a, Event{
+	a.bumpAccessLocked(-1)
+	se.svc.journalLocked(se.part, a, Event{
 		Time: se.part.now(), Kind: EventPasswordChange,
 		Account: se.account, Cookie: se.cookie,
 	})
@@ -308,19 +301,33 @@ func (se *Session) ActivityPage() ([]Access, error) {
 // whole page on every tick; the returned version is the cursor for the
 // next scrape.
 func (se *Session) ActivityPageSince(cursor uint64) ([]Access, uint64, error) {
+	var out []Access
+	v, err := se.ActivitySince(cursor, func(a Access) {
+		out = append(out, a)
+	})
+	return out, v, err
+}
+
+// ActivitySince streams the activity rows that changed since the
+// cursor to visit, in page order, and returns the current access
+// version. It is the allocation-free flavor of ActivityPageSince: the
+// rows are materialized on the stack straight from the columnar
+// store, so a delta scrape allocates nothing the visitor does not.
+// The visitor runs under the partition lock and must not call back
+// into the Service.
+func (se *Session) ActivitySince(cursor uint64, visit func(Access)) (uint64, error) {
 	se.part.mu.Lock()
 	defer se.part.mu.Unlock()
 	a, err := se.touch()
 	if err != nil {
-		return nil, 0, err
+		return 0, err
 	}
-	var out []Access
-	for _, acc := range a.accessOrder {
-		if acc.rev > cursor {
-			out = append(out, *acc)
+	for _, row := range a.acc.order {
+		if a.acc.rev[row] > cursor {
+			visit(a.acc.materialize(row))
 		}
 	}
-	return out, a.accessVersion.Load(), nil
+	return a.accessVersion.Load(), nil
 }
 
 // Delete moves a message to trash.
@@ -331,10 +338,10 @@ func (se *Session) Delete(id MessageID) error {
 	if err != nil {
 		return err
 	}
-	m, err := a.messageLocked(id)
+	i, err := a.rowLocked(id)
 	if err != nil {
 		return err
 	}
-	m.Folder = FolderTrash
+	a.msgs.folder[i] = FolderTrash
 	return nil
 }

@@ -18,7 +18,6 @@ package webmail
 import (
 	"errors"
 	"fmt"
-	"strings"
 	"time"
 
 	"repro/internal/netsim"
@@ -38,7 +37,11 @@ const (
 // MessageID identifies a message within one account.
 type MessageID int64
 
-// Message is a stored email.
+// Message is a stored email as the API presents it. Internally the
+// service keeps messages as parallel columns (see columnar.go); this
+// struct is materialized on demand, so callers can never mutate
+// stored state through it. The lowercase search haystack lives with
+// the columnar text payload and bakes lazily on first search.
 type Message struct {
 	ID      MessageID
 	Folder  Folder
@@ -50,25 +53,6 @@ type Message struct {
 	Read    bool
 	Starred bool
 	Labels  []string
-
-	// haystack is the precomputed lowercase subject+body the keyword
-	// search matches against. Baking it once at create/edit time keeps
-	// strings.ToLower off the per-query hot path (attackers search the
-	// same mailbox over and over; the text never changes between edits).
-	haystack string
-}
-
-// bake (re)computes the search haystack; every code path that sets or
-// edits Subject/Body must call it.
-func (m *Message) bake() {
-	m.haystack = strings.ToLower(m.Subject + "\n" + m.Body)
-}
-
-// clone returns a deep copy so callers cannot mutate stored state.
-func (m *Message) clone() Message {
-	out := *m
-	out.Labels = append([]string(nil), m.Labels...)
-	return out
 }
 
 // EventKind enumerates the account activity the platform journals.

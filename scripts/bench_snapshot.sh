@@ -1,48 +1,90 @@
 #!/usr/bin/env sh
 # bench_snapshot.sh — record the perf trajectory of the sharded engine.
 #
-# Runs the end-to-end scaling benchmarks once each and writes a
-# BENCH_PR<N>.json at the repo root: one record per benchmark with the
-# (shards, scale) point and wall-clock seconds, plus the CPU string so
-# numbers are only compared on comparable hardware. PR 5 adds the
-# snapshot engine's benchmarks (warm- vs cold-started matrix, the
-# snapshot round trip) to the recorded trajectory, and the companion
-# scripts/check_bench_regression.sh turns the latest committed file
-# from a log into an enforced contract.
+# Runs the end-to-end scaling benchmarks and writes a BENCH_PR<N>.json
+# at the repo root: one record per benchmark with the (shards, scale)
+# point, wall-clock seconds, allocs/op, bytes/op and — for the sharded
+# runs — the retained live-heap-bytes metric. The header records the
+# CPU string, core count and GOMAXPROCS, because seconds only compare
+# on comparable hardware while allocation counts compare anywhere; the
+# companion scripts/check_bench_regression.sh enforces exactly that
+# split. PR 6 adds the fleet-scale lane (BenchmarkShardedRunXL at
+# scale=100; BENCH_XXL=1 adds scale=1000) and the per-benchmark memory
+# columns.
 #
 # Usage: scripts/bench_snapshot.sh [output.json]
+# Env:   BENCH_COUNT=6  run each benchmark 6 times (benchstat-friendly;
+#                       the JSON records the minimum per benchmark)
+#        BENCH_RAW=f    also keep the raw `go test -bench` output at f
+#                       (what nightly CI uploads as an artifact)
+#        BENCH_XXL=1    include the 100,000-account scale=1000 runs
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_PR5.json}"
+out="${1:-BENCH_PR6.json}"
+count="${BENCH_COUNT:-1}"
 # The PR number in the trajectory record comes from the file name
 # (BENCH_PR7.json -> 7); unrecognised names record pr 0.
 pr=$(basename "$out" | sed -n 's/^BENCH_PR\([0-9][0-9]*\)\.json$/\1/p')
 [ -n "$pr" ] || pr=0
-raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+cores=$(nproc 2>/dev/null || echo 1)
+raw="${BENCH_RAW:-$(mktemp)}"
+[ -n "${BENCH_RAW:-}" ] || trap 'rm -f "$raw"' EXIT
 
-go test -bench 'BenchmarkShardedRun|BenchmarkStreamingRun|BenchmarkMatrixRun$|BenchmarkMatrixWarmStart|BenchmarkSnapshotRoundTrip' \
-    -benchtime 1x -run '^$' . | tee "$raw" >&2
+# Plain POSIX sh has no pipefail, so a `| tee` pipeline would swallow
+# a failing go test; write to the file and replay it instead.
+if ! go test -bench 'BenchmarkShardedRun|BenchmarkStreamingRun|BenchmarkMatrixRun$|BenchmarkMatrixWarmStart|BenchmarkSnapshotRoundTrip' \
+    -benchtime 1x -count "$count" -benchmem -run '^$' . > "$raw" 2>&1; then
+    cat "$raw" >&2
+    echo "bench_snapshot: go test -bench failed; no snapshot written" >&2
+    exit 1
+fi
+cat "$raw" >&2
 
-awk -v out="$out" -v pr="$pr" '
+awk -v out="$out" -v pr="$pr" -v cores="$cores" -v count="$count" '
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 /^Benchmark(ShardedRun|StreamingRun|MatrixRun|MatrixWarmStart|SnapshotRoundTrip)/ {
     name = $1
-    # Trim the trailing -GOMAXPROCS suffix go test appends.
-    sub(/-[0-9]+$/, "", name)
-    ns = $3
-    shards = "null"; scale = "null"
-    if (match(name, /shards=[0-9]+/)) shards = substr(name, RSTART + 7, RLENGTH - 7)
-    if (match(name, /scale=[0-9]+/))  scale  = substr(name, RSTART + 6, RLENGTH - 6)
-    n++
-    rows[n] = sprintf("    {\"name\": \"%s\", \"shards\": %s, \"scale\": %s, \"seconds\": %.3f}",
-                      name, shards, scale, ns / 1e9)
+    # The trailing -N suffix go test appends is GOMAXPROCS.
+    if (match(name, /-[0-9]+$/)) {
+        gmp = substr(name, RSTART + 1, RLENGTH - 1)
+        name = substr(name, 1, RSTART - 1)
+    }
+    # Collect "value unit" pairs wherever they sit on the line, so the
+    # parse does not depend on column order.
+    ns = ""; allocs = ""; bytes = ""; heap = ""
+    for (i = 3; i <= NF; i++) {
+        if ($i == "ns/op")           ns = $(i - 1)
+        if ($i == "allocs/op")       allocs = $(i - 1)
+        if ($i == "B/op")            bytes = $(i - 1)
+        if ($i == "live-heap-bytes") heap = $(i - 1)
+    }
+    if (ns == "") next
+    # With -count > 1 keep the minimum per benchmark (benchstat reads
+    # the raw file; the JSON wants one representative point).
+    if (!(name in secs) || ns + 0 < secs[name] + 0) secs[name] = ns
+    if (allocs != "" && (!(name in al) || allocs + 0 < al[name] + 0)) al[name] = allocs
+    if (bytes != "" && (!(name in by) || bytes + 0 < by[name] + 0))   by[name] = bytes
+    if (heap != "" && (!(name in hp) || heap + 0 < hp[name] + 0))     hp[name] = heap
+    if (!(name in seen)) { seen[name] = 1; order[++n] = name }
 }
 END {
     if (n == 0) { print "bench_snapshot: no benchmark lines parsed" > "/dev/stderr"; exit 1 }
-    printf "{\n  \"pr\": %d,\n  \"cpu\": \"%s\",\n  \"benchtime\": \"1x\",\n  \"benchmarks\": [\n", pr, cpu > out
-    for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "") > out
+    # go test only appends the -N name suffix when GOMAXPROCS != 1.
+    if (gmp == "") gmp = 1
+    printf "{\n  \"pr\": %d,\n  \"cpu\": \"%s\",\n  \"cores\": %d,\n  \"gomaxprocs\": %d,\n  \"benchtime\": \"1x\",\n  \"count\": %d,\n  \"benchmarks\": [\n", pr, cpu, cores, gmp, count > out
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        shards = "null"; scale = "null"
+        if (match(name, /shards=[0-9]+/)) shards = substr(name, RSTART + 7, RLENGTH - 7)
+        if (match(name, /scale=[0-9]+/))  scale  = substr(name, RSTART + 6, RLENGTH - 6)
+        row = sprintf("    {\"name\": \"%s\", \"shards\": %s, \"scale\": %s, \"seconds\": %.3f", name, shards, scale, secs[name] / 1e9)
+        if (name in al) row = row sprintf(", \"allocs_op\": %d", al[name])
+        if (name in by) row = row sprintf(", \"bytes_op\": %d", by[name])
+        if (name in hp) row = row sprintf(", \"live_heap_bytes\": %d", hp[name])
+        row = row "}"
+        printf "%s%s\n", row, (i < n ? "," : "") > out
+    }
     printf "  ]\n}\n" > out
 }' "$raw"
 

@@ -2,23 +2,28 @@
 # check_bench_regression.sh — the benchmark regression gate.
 #
 # Compares a freshly measured bench snapshot (scripts/bench_snapshot.sh
-# output) against the LATEST committed BENCH_PR*.json and fails when
-# the headline end-to-end benchmark — BenchmarkShardedRun at
-# shards=4/scale=10, the 1000-account fleet run whose 32.7s -> 2.9s
-# trajectory PRs 1-4 earned — regresses by more than the threshold.
+# output) against the LATEST committed BENCH_PR*.json on the headline
+# end-to-end benchmark — BenchmarkShardedRun at shards=4/scale=10, the
+# 1000-account fleet run whose 32.7s -> ~3s trajectory PRs 1-6 earned.
 # This is what keeps BENCH_PR*.json an enforced contract instead of a
 # log: a change that quietly gives those wins back fails the build.
 #
-# Absolute seconds only compare on comparable hardware, so the gate
-# is graduated: on matching CPU strings the strict threshold applies
-# (default 25%); on a CPU mismatch it widens to CROSS_CPU_MAX_PCT
-# (default 100% — catching only egregious regressions while absorbing
-# machine-generation deltas) and says so. Re-measuring the baseline
-# on the gate's own hardware (scripts/bench_snapshot.sh on a machine
-# matching the committed CPU string) restores strict enforcement.
+# Two gates, split by what transfers across hardware:
+#
+#   allocs/op — hardware-independent, so it is enforced strictly
+#     whenever the baseline recorded it: more than max_regression_pct
+#     (default 25%) extra allocations fails, whatever machine either
+#     number came from. (Baselines from before the column existed skip
+#     this gate and say so.)
+#
+#   seconds — only meaningful on comparable hardware. The gate compares
+#     wall-clock strictly when the baseline's CPU string matches and
+#     the core counts match; on any mismatch the seconds comparison is
+#     SKIPPED with a message, rather than silently widened — the
+#     allocs/op gate is the cross-machine contract. Re-measuring the
+#     baseline on the gate's own hardware restores seconds enforcement.
 #
 # Usage: scripts/check_bench_regression.sh NEW.json [max_regression_pct]
-# Env:   CROSS_CPU_MAX_PCT (default 100) — threshold when CPUs differ.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -45,44 +50,74 @@ if [ -z "$baseline" ]; then
     exit 1
 fi
 
-seconds_of() {
-    # Extract "seconds" for $key from a bench json (one record per line).
-    awk -v key="$key" '
+field_of() {
+    # Extract numeric field $2 from $1's record for $key (one record
+    # per line); prints nothing when the record or field is absent.
+    awk -v key="$key" -v field="$2" '
         index($0, "\"" key "\"") {
-            if (match($0, /"seconds": *[0-9.]+/)) {
+            if (match($0, "\"" field "\": *[0-9.]+")) {
                 s = substr($0, RSTART, RLENGTH)
                 sub(/.*: */, "", s)
                 print s
-                exit
             }
+            exit
         }' "$1"
 }
 
-cpu_of() {
-    sed -n 's/^ *"cpu": *"\(.*\)",$/\1/p' "$1" | head -n 1
+header_of() {
+    # Extract top-level header field $2 ("cpu" string or numeric).
+    sed -n 's/^ *"'"$2"'": *"\{0,1\}\([^",]*\)"\{0,1\},\{0,1\}$/\1/p' "$1" | head -n 1
 }
 
-old_s=$(seconds_of "$baseline")
-new_s=$(seconds_of "$new")
+fail=0
+
+# ---- allocs/op: the hardware-independent gate ----------------------
+old_a=$(field_of "$baseline" allocs_op)
+new_a=$(field_of "$new" allocs_op)
+if [ -z "$new_a" ]; then
+    echo "check_bench_regression: $key has no allocs_op in $new (bench script too old?)" >&2
+    exit 1
+fi
+if [ -z "$old_a" ]; then
+    echo "$key: baseline $baseline predates the allocs_op column; allocs gate skipped" >&2
+else
+    awk -v old="$old_a" -v cur="$new_a" -v max="$max" -v key="$key" -v base="$baseline" '
+    BEGIN {
+        pct = (cur - old) / old * 100
+        printf "%s: baseline %s = %d allocs/op, current = %d (%+.1f%%, gate +%s%%)\n", key, base, old, cur, pct, max
+        if (pct > max) {
+            printf "REGRESSION: %d allocs/op is %.1f%% above the committed baseline (max +%s%%)\n", cur, pct, max
+            exit 1
+        }
+    }' || fail=1
+fi
+
+# ---- seconds: only on comparable hardware --------------------------
+old_s=$(field_of "$baseline" seconds)
+new_s=$(field_of "$new" seconds)
 if [ -z "$old_s" ] || [ -z "$new_s" ]; then
     echo "check_bench_regression: $key missing from $baseline or $new" >&2
     exit 1
 fi
-
-old_cpu=$(cpu_of "$baseline")
-new_cpu=$(cpu_of "$new")
-if [ "$old_cpu" != "$new_cpu" ]; then
-    max="${CROSS_CPU_MAX_PCT:-100}"
-    echo "check_bench_regression: CPU mismatch (\"$old_cpu\" vs \"$new_cpu\"); widening gate to +$max%" >&2
+old_cpu=$(header_of "$baseline" cpu)
+new_cpu=$(header_of "$new" cpu)
+old_cores=$(header_of "$baseline" cores)
+new_cores=$(header_of "$new" cores)
+if [ -n "$old_cores" ] && [ "$old_cores" != "$new_cores" ]; then
+    echo "$key: core counts differ ($old_cores vs ${new_cores:-?}); seconds comparison skipped" >&2
+elif [ "$old_cpu" != "$new_cpu" ]; then
+    echo "$key: CPU mismatch (\"$old_cpu\" vs \"$new_cpu\"); seconds comparison skipped" >&2
+else
+    awk -v old="$old_s" -v cur="$new_s" -v max="$max" -v key="$key" -v base="$baseline" '
+    BEGIN {
+        pct = (cur - old) / old * 100
+        printf "%s: baseline %s = %.3fs, current = %.3fs (%+.1f%%, gate +%s%%)\n", key, base, old, cur, pct, max
+        if (pct > max) {
+            printf "REGRESSION: %.3fs is %.1f%% slower than the committed baseline (max +%s%%)\n", cur, pct, max
+            exit 1
+        }
+    }' || fail=1
 fi
 
-awk -v old="$old_s" -v cur="$new_s" -v max="$max" -v key="$key" -v base="$baseline" '
-BEGIN {
-    pct = (cur - old) / old * 100
-    printf "%s: baseline %s = %.3fs, current = %.3fs (%+.1f%%, gate +%s%%)\n", key, base, old, cur, pct, max
-    if (pct > max) {
-        printf "REGRESSION: %.3fs is %.1f%% slower than the committed baseline (max +%s%%)\n", cur, pct, max
-        exit 1
-    }
-}'
+[ "$fail" -eq 0 ] || exit 1
 echo "bench regression gate passed" >&2
