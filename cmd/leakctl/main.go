@@ -1,10 +1,13 @@
 // Command leakctl simulates leaking a batch of credentials to an
 // outlet and reports the pickup schedule and any forum inquiries —
 // useful for exploring outlet dynamics without a full deployment.
+// With -creds it also writes the leaked "address password" lines in
+// the format cmd/loadgen consumes, so a leak can drive live-fleet
+// load.
 //
 // Usage:
 //
-//	leakctl [-outlet name] [-n N] [-days N] [-seed N]
+//	leakctl [-outlet name] [-n N] [-days N] [-seed N] [-creds out.txt]
 //
 // Outlets: the names in outlets.DefaultSites (pastebin.example,
 // hackforums.example, paste-ru-1.example, ...).
@@ -13,43 +16,85 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/livefleet"
 	"repro/internal/outlets"
 	"repro/internal/rng"
 	"repro/internal/simtime"
 )
 
-func main() {
-	var (
-		outlet = flag.String("outlet", "pastebin.example", "outlet to leak on")
-		n      = flag.Int("n", 20, "number of credentials to leak")
-		days   = flag.Int("days", 210, "days to simulate after the leak")
-		seed   = flag.Int64("seed", 1, "simulation seed")
-	)
-	flag.Parse()
+type config struct {
+	outlet   string
+	n        int
+	days     int
+	seed     int64
+	credsOut string
+}
 
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("leakctl", flag.ContinueOnError)
+	cfg := config{}
+	fs.StringVar(&cfg.outlet, "outlet", "pastebin.example", "outlet to leak on")
+	fs.IntVar(&cfg.n, "n", 20, "number of credentials to leak")
+	fs.IntVar(&cfg.days, "days", 210, "days to simulate after the leak")
+	fs.Int64Var(&cfg.seed, "seed", 1, "simulation seed")
+	fs.StringVar(&cfg.credsOut, "creds", "", "write the leaked credentials to this file (loadgen format)")
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
+	return cfg, nil
+}
+
+// leakCredentials builds the deterministic credential batch.
+func leakCredentials(n int) []outlets.Credential {
+	creds := make([]outlets.Credential, n)
+	for i := range creds {
+		creds[i] = outlets.Credential{
+			Account:  fmt.Sprintf("honey%03d@honeymail.example", i),
+			Password: fmt.Sprintf("hp-%06d", i),
+		}
+	}
+	return creds
+}
+
+// run executes the leak simulation and writes the report; split from
+// main for the integration tests.
+func run(cfg config, out io.Writer) error {
 	clock := simtime.NewClock(time.Date(2015, 6, 25, 0, 0, 0, 0, time.UTC))
 	sched := simtime.NewScheduler(clock)
-	reg := outlets.NewRegistry(outlets.DefaultSites(), sched, rng.New(*seed))
-	o, ok := reg.Get(*outlet)
+	reg := outlets.NewRegistry(outlets.DefaultSites(), sched, rng.New(cfg.seed))
+	o, ok := reg.Get(cfg.outlet)
 	if !ok {
 		var names []string
 		for _, s := range outlets.DefaultSites() {
 			names = append(names, s.Name)
 		}
 		sort.Strings(names)
-		log.Fatalf("unknown outlet %q; have %v", *outlet, names)
+		return fmt.Errorf("unknown outlet %q; have %v", cfg.outlet, names)
 	}
 
-	creds := make([]outlets.Credential, *n)
-	for i := range creds {
-		creds[i] = outlets.Credential{
-			Account:  fmt.Sprintf("honey%03d@honeymail.example", i),
-			Password: fmt.Sprintf("hp-%06d", i),
+	creds := leakCredentials(cfg.n)
+	if cfg.credsOut != "" {
+		lf := make([]livefleet.Credential, len(creds))
+		for i, c := range creds {
+			lf[i] = livefleet.Credential{Address: c.Account, Password: c.Password}
+		}
+		f, err := os.Create(cfg.credsOut)
+		if err != nil {
+			return err
+		}
+		if err := livefleet.WriteCredentials(f, lf); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
 		}
 	}
 
@@ -61,29 +106,40 @@ func main() {
 		d := p.At.Sub(p.PostedAt).Hours() / 24
 		byAccount[p.Credential.Account] = append(byAccount[p.Credential.Account], d)
 	})
-	fmt.Printf("posted %d credentials on %s; %d pickups scheduled\n", *n, *outlet, scheduled)
+	fmt.Fprintf(out, "posted %d credentials on %s; %d pickups scheduled\n", cfg.n, cfg.outlet, scheduled)
 
-	sched.RunFor(time.Duration(*days) * 24 * time.Hour)
+	sched.RunFor(time.Duration(cfg.days) * 24 * time.Hour)
 
 	accounts := make([]string, 0, len(byAccount))
 	for a := range byAccount {
 		accounts = append(accounts, a)
 	}
 	sort.Strings(accounts)
-	fmt.Println("\npickup days per credential:")
+	fmt.Fprintln(out, "\npickup days per credential:")
 	for _, a := range accounts {
-		fmt.Printf("  %s:", a)
+		fmt.Fprintf(out, "  %s:", a)
 		for _, d := range byAccount[a] {
-			fmt.Printf(" %.1f", d)
+			fmt.Fprintf(out, " %.1f", d)
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
-	untouched := *n - len(byAccount)
-	fmt.Printf("\ncredentials never picked up: %d of %d\n", untouched, *n)
+	untouched := cfg.n - len(byAccount)
+	fmt.Fprintf(out, "\ncredentials never picked up: %d of %d\n", untouched, cfg.n)
 	if inq := o.Inquiries(); len(inq) > 0 {
-		fmt.Printf("buyer inquiries received: %d\n", len(inq))
+		fmt.Fprintf(out, "buyer inquiries received: %d\n", len(inq))
 		for _, q := range inq {
-			fmt.Printf("  day %.1f  %s: %s\n", q.At.Sub(clock.Now().Add(-time.Duration(*days)*24*time.Hour)).Hours()/24, q.From, q.Message)
+			fmt.Fprintf(out, "  day %.1f  %s: %s\n", q.At.Sub(clock.Now().Add(-time.Duration(cfg.days)*24*time.Hour)).Hours()/24, q.From, q.Message)
 		}
+	}
+	return nil
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	if err := run(cfg, os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 }

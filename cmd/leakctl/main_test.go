@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/livefleet"
+)
+
+// TestRunWritesCredsFile: -creds emits the leak in loadgen format.
+func TestRunWritesCredsFile(t *testing.T) {
+	credsPath := filepath.Join(t.TempDir(), "leak.txt")
+	var out strings.Builder
+	err := run(config{outlet: "pastebin.example", n: 5, days: 30, seed: 1, credsOut: credsPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "posted 5 credentials on pastebin.example") {
+		t.Fatalf("report missing post line:\n%s", out.String())
+	}
+	f, err := os.Open(credsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	creds, err := livefleet.ReadCredentials(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(creds) != 5 {
+		t.Fatalf("wrote %d creds, want 5", len(creds))
+	}
+	if creds[0].Address != "honey000@honeymail.example" || creds[0].Password != "hp-000000" {
+		t.Fatalf("first cred %+v", creds[0])
+	}
+}
+
+// TestRunDeterministicPickups: the same seed schedules the same
+// pickup report.
+func TestRunDeterministicPickups(t *testing.T) {
+	var a, b strings.Builder
+	cfg := config{outlet: "pastebin.example", n: 10, days: 60, seed: 7}
+	if err := run(cfg, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(cfg, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different reports")
+	}
+}
+
+func TestRunUnknownOutlet(t *testing.T) {
+	var out strings.Builder
+	if err := run(config{outlet: "nope.example", n: 1, days: 1, seed: 1}, &out); err == nil {
+		t.Fatal("unknown outlet accepted")
+	}
+}
+
+func TestParseFlags(t *testing.T) {
+	cfg, err := parseFlags([]string{"-outlet", "hackforums.example", "-n", "3", "-creds", "x.txt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.outlet != "hackforums.example" || cfg.n != 3 || cfg.credsOut != "x.txt" {
+		t.Fatalf("parsed %+v", cfg)
+	}
+	if _, err := parseFlags([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

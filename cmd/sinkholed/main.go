@@ -1,52 +1,103 @@
 // Command sinkholed runs the sinkhole mailserver standalone: it
 // accepts SMTP-subset sessions on a TCP port, stores every message,
-// forwards nothing, and prints each capture to stdout.
+// forwards nothing, and prints each capture to stdout. On
+// SIGTERM/SIGINT it drains gracefully: in-flight SMTP commands
+// (including an open DATA payload) finish before the process exits.
 //
 // Usage:
 //
-//	sinkholed [-addr host:port]
+//	sinkholed [-addr host:port] [-drain-timeout D]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/sinkhole"
 )
 
-func main() {
-	addr := flag.String("addr", "127.0.0.1:2525", "listen address")
-	flag.Parse()
+type config struct {
+	addr         string
+	drainTimeout time.Duration
+}
 
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("sinkholed", flag.ContinueOnError)
+	cfg := config{}
+	fs.StringVar(&cfg.addr, "addr", "127.0.0.1:2525", "listen address")
+	fs.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "max wait for in-flight sessions on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
+	return cfg, nil
+}
+
+// instance is a started sinkholed, exposed for the integration tests.
+type instance struct {
+	Addr  string
+	Store *sinkhole.Store
+	srv   *sinkhole.Server
+	cfg   config
+}
+
+func start(cfg config, out io.Writer) (*instance, error) {
 	store := sinkhole.NewStore(time.Now)
 	srv := sinkhole.NewServer(store)
-	bound, err := srv.Listen(*addr)
+	bound, err := srv.Listen(cfg.addr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(out, "sinkholed listening on", bound)
+	return &instance{Addr: bound, Store: store, srv: srv, cfg: cfg}, nil
+}
+
+// Shutdown drains the server gracefully under the configured timeout.
+func (in *instance) Shutdown(ctx context.Context) error {
+	ctx, cancel := context.WithTimeout(ctx, in.cfg.drainTimeout)
+	defer cancel()
+	return in.srv.Drain(ctx)
+}
+
+// Close stops the instance immediately (tests' cleanup path).
+func (in *instance) Close() error { return in.srv.Close() }
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	inst, err := start(cfg, os.Stdout)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("sinkholed listening on", bound)
-
-	// Poll the store and echo new captures.
 	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	// Poll the store and echo new captures until shutdown.
 	seen := 0
 	ticker := time.NewTicker(500 * time.Millisecond)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-ticker.C:
-			all := store.All()
+			all := inst.Store.All()
 			for ; seen < len(all); seen++ {
 				m := all[seen]
 				fmt.Printf("captured %s -> %s %q (%d bytes)\n", m.From, m.To, m.Subject, len(m.Body))
 			}
 		case <-stop:
-			fmt.Printf("shutting down; %d messages captured, 0 delivered\n", store.Count())
-			srv.Close()
+			fmt.Println("draining")
+			if err := inst.Shutdown(context.Background()); err != nil {
+				log.Printf("drain: %v (forced close)", err)
+			}
+			fmt.Printf("shut down; %d messages captured, 0 delivered\n", inst.Store.Count())
 			return
 		}
 	}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sinkhole"
+)
+
+func startT(t *testing.T) *instance {
+	t.Helper()
+	inst, err := start(config{addr: "127.0.0.1:0", drainTimeout: 10 * time.Second}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { inst.Close() })
+	return inst
+}
+
+// TestCaptureOverWire: a full SMTP-subset session lands in the store.
+func TestCaptureOverWire(t *testing.T) {
+	inst := startT(t)
+	if err := sinkhole.Send(inst.Addr, "spam@evil.example", "victim@victims.example", "offer", "click here"); err != nil {
+		t.Fatal(err)
+	}
+	mails := inst.Store.ByRecipient("victim@victims.example")
+	if len(mails) != 1 || mails[0].Subject != "offer" {
+		t.Fatalf("captured %+v", mails)
+	}
+}
+
+// TestConcurrentSMTPClients: parallel senders, all captured, no races.
+func TestConcurrentSMTPClients(t *testing.T) {
+	inst := startT(t)
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			to := fmt.Sprintf("v%02d@victims.example", i)
+			if err := sinkhole.Send(inst.Addr, "spam@evil.example", to, "bulk", "body"); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := inst.Store.Count(); got != n {
+		t.Fatalf("captured %d of %d", got, n)
+	}
+}
+
+// TestShutdownDrains: an idle session drops, new connections are
+// refused, and Shutdown returns cleanly.
+func TestShutdownDrains(t *testing.T) {
+	inst := startT(t)
+	conn, err := net.DialTimeout("tcp", inst.Addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Consume the greeting so the session is established and idle.
+	buf := make([]byte, 64)
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The idle session is gone: the next read hits EOF/reset.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("idle session survived drain")
+	}
+	if err := sinkhole.Send(inst.Addr, "a@x", "b@y", "s", "b"); err == nil {
+		t.Fatal("send after shutdown succeeded")
+	}
+}
+
+func TestParseFlags(t *testing.T) {
+	cfg, err := parseFlags([]string{"-addr", "127.0.0.1:1234", "-drain-timeout", "5s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != "127.0.0.1:1234" || cfg.drainTimeout != 5*time.Second {
+		t.Fatalf("parsed %+v", cfg)
+	}
+	if _, err := parseFlags([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -205,3 +205,17 @@ var spamBodies = []string{
 var victimDomains = []string{
 	"victims.example", "contacts.example", "addressbook.example",
 }
+
+// GoldKeywords returns a copy of the gold-digger search vocabulary.
+// The live-fleet load generator replays these over the wire so its
+// search traffic matches what the in-process engine issues.
+func GoldKeywords() []string { return append([]string(nil), goldKeywords...) }
+
+// SpamSubjects returns a copy of the spammer subject pool.
+func SpamSubjects() []string { return append([]string(nil), spamSubjects...) }
+
+// SpamBodies returns a copy of the spammer body pool.
+func SpamBodies() []string { return append([]string(nil), spamBodies...) }
+
+// VictimDomains returns a copy of the sinkholed recipient domains.
+func VictimDomains() []string { return append([]string(nil), victimDomains...) }

@@ -1,0 +1,410 @@
+package livefleet
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/attacker"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Mix is the per-visit behaviour mix the load generator replays,
+// derived from the attacker populations so generated traffic has the
+// same op shape the in-process engine produces: every visit logs in
+// and lists the inbox (the curious baseline), gold diggers add
+// searches and reads, spammers add sends, hijackers change the
+// password (which ends the visit — the old session cookie is dead).
+type Mix struct {
+	GoldDigger float64 // P(visit runs searches + reads)
+	Hijacker   float64 // P(visit ends with a password change)
+	Spammer    float64 // P(visit sends spam)
+	Activity   float64 // P(visit scrapes the activity page)
+}
+
+// MixFromPopulations averages the four channel populations into one
+// mix — the load generator models the blended arrival stream, not one
+// outlet. Activity scraping is not a population parameter; the paper's
+// attackers rarely checked it, so a small constant stands in.
+func MixFromPopulations(p attacker.Populations) Mix {
+	avg := func(f func(attacker.Population) float64) float64 {
+		return (f(p.Paste) + f(p.PasteRussian) + f(p.Forum) + f(p.Malware)) / 4
+	}
+	return Mix{
+		GoldDigger: avg(func(pp attacker.Population) float64 { return pp.GoldDiggerProb }),
+		Hijacker:   avg(func(pp attacker.Population) float64 { return pp.HijackerProb }),
+		Spammer:    avg(func(pp attacker.Population) float64 { return pp.SpammerProb }),
+		Activity:   0.10,
+	}
+}
+
+// Op kinds. OpLogin is also the resync point: after a transport
+// error a worker skips forward to the next OpLogin, because every op
+// between two logins assumed the now-dead session.
+const (
+	OpLogin    = "login"
+	OpList     = "list"
+	OpRead     = "read"
+	OpSearch   = "search"
+	OpSend     = "send"
+	OpChpass   = "chpass"
+	OpActivity = "activity"
+)
+
+// Op is one precomputed request. Everything — account, the password
+// valid at that point in the schedule, spam text, search query — is
+// resolved at plan time, so executing the plan draws zero randomness
+// and two runs of the same plan send byte-identical request streams.
+type Op struct {
+	Kind     string
+	Account  string
+	Password string // login: current password; chpass: the new one
+	Folder   string
+	ID       int64
+	Limit    int // list: newest-N bound (0 = whole folder)
+	To       string
+	Subject  string
+	Body     string
+	Query    string
+}
+
+// Plan is a deterministic load schedule: Workers[w] is the op stream
+// worker w replays in order. Workers own disjoint account sets, so
+// plan-time password evolution (a chpass changes what later logins
+// must present) never races across workers at run time.
+type Plan struct {
+	Seed    int64
+	Workers [][]Op
+}
+
+// Ops returns the total number of scheduled requests.
+func (p *Plan) Ops() int {
+	n := 0
+	for _, w := range p.Workers {
+		n += len(w)
+	}
+	return n
+}
+
+// PlanConfig parameterises BuildPlan.
+type PlanConfig struct {
+	Seed    int64
+	Workers int // concurrent connections; also the account-ownership stripes
+	Visits  int // attacker visits per worker
+	Mailbox int // seeded messages per account (read IDs drawn from [1,Mailbox])
+	// ListLimit bounds every list op to the newest N messages
+	// (Request.Limit); 0 lists whole folders. Bounding it keeps
+	// response size — and therefore measured latency — independent of
+	// how deeply the fleet's mailboxes were seeded.
+	ListLimit int
+	Creds     []Credential
+	Mix       Mix
+}
+
+// BuildPlan expands the config into a fully resolved schedule. Same
+// config, same plan — the determinism test replays it twice.
+func BuildPlan(cfg PlanConfig) (*Plan, error) {
+	if cfg.Workers <= 0 || cfg.Visits <= 0 {
+		return nil, fmt.Errorf("livefleet: plan needs positive workers and visits")
+	}
+	if len(cfg.Creds) == 0 {
+		return nil, fmt.Errorf("livefleet: plan needs credentials")
+	}
+	if cfg.Mailbox <= 0 {
+		cfg.Mailbox = 10
+	}
+	keywords := attacker.GoldKeywords()
+	subjects := attacker.SpamSubjects()
+	bodies := attacker.SpamBodies()
+	domains := attacker.VictimDomains()
+
+	plan := &Plan{Seed: cfg.Seed, Workers: make([][]Op, cfg.Workers)}
+	root := rng.New(cfg.Seed)
+	for w := 0; w < cfg.Workers; w++ {
+		// Ownership stripe: worker w exercises creds[i] with i%Workers
+		// == w. A worker with no accounts (more workers than creds)
+		// gets an empty schedule rather than an error.
+		var owned []Credential
+		for i := w; i < len(cfg.Creds); i += cfg.Workers {
+			owned = append(owned, cfg.Creds[i])
+		}
+		if len(owned) == 0 {
+			continue
+		}
+		passwords := make(map[string]string, len(owned))
+		for _, c := range owned {
+			passwords[c.Address] = c.Password
+		}
+		src := root.ForkShard(w, cfg.Workers)
+		var ops []Op
+		for v := 0; v < cfg.Visits; v++ {
+			acct := owned[src.Intn(len(owned))].Address
+			ops = append(ops,
+				Op{Kind: OpLogin, Account: acct, Password: passwords[acct]},
+				Op{Kind: OpList, Account: acct, Folder: "inbox", Limit: cfg.ListLimit},
+			)
+			if src.Bool(cfg.Mix.GoldDigger) {
+				for _, q := range rng.PickN(src, keywords, 2+src.Intn(3)) {
+					ops = append(ops, Op{Kind: OpSearch, Account: acct, Query: q})
+				}
+				reads := 1 + src.Intn(3)
+				for i := 0; i < reads; i++ {
+					ops = append(ops, Op{Kind: OpRead, Account: acct, ID: int64(1 + src.Intn(cfg.Mailbox))})
+				}
+			}
+			if src.Bool(cfg.Mix.Spammer) {
+				sends := 1 + src.Intn(3)
+				for i := 0; i < sends; i++ {
+					ops = append(ops, Op{
+						Kind:    OpSend,
+						Account: acct,
+						To:      fmt.Sprintf("user%04d@%s", src.Intn(10000), rng.Pick(src, domains)),
+						Subject: rng.Pick(src, subjects),
+						Body:    rng.Pick(src, bodies),
+					})
+				}
+			}
+			if src.Bool(cfg.Mix.Activity) {
+				ops = append(ops, Op{Kind: OpActivity, Account: acct})
+			}
+			if src.Bool(cfg.Mix.Hijacker) {
+				// Password evolution happens at plan time: later visits
+				// to this account must log in with the new password.
+				next := fmt.Sprintf("lg-%d-%d-%d", w, v, src.Intn(1_000_000))
+				ops = append(ops, Op{Kind: OpChpass, Account: acct, Password: next})
+				passwords[acct] = next
+			}
+		}
+		plan.Workers[w] = ops
+	}
+	return plan, nil
+}
+
+// RunConfig parameterises Run.
+type RunConfig struct {
+	// Addr is the router (or single shard) to load.
+	Addr string
+	// QPS is the aggregate open-loop request rate target; 0 means
+	// as-fast-as-possible (closed loop).
+	QPS float64
+	// Timeout is the per-request deadline (default 5s); an expiry
+	// counts in Timeouts and drops the worker's connection.
+	Timeout time.Duration
+	// Label names the run in the report section.
+	Label string
+}
+
+// lgConn is the load generator's wire client: a plain webmail
+// connection plus deadline control.
+type lgConn struct {
+	c   net.Conn
+	enc *json.Encoder
+	br  *bufio.Reader
+}
+
+func dialLG(addr string, timeout time.Duration) (*lgConn, error) {
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &lgConn{c: c, enc: json.NewEncoder(c), br: bufio.NewReader(c)}, nil
+}
+
+// workerTally is one worker's private counters, merged after the run.
+type workerTally struct {
+	hist     stats.LatencyHist
+	requests int64
+	rejected int64
+	errors   int64
+	timeouts int64
+}
+
+// Run replays the plan against addr and returns the merged serving
+// stats. Pacing is open-loop per worker (rate = QPS/Workers): a
+// worker sends on schedule regardless of response latency, sleeping
+// only when it is more than a millisecond ahead, so sub-millisecond
+// intervals do not dissolve into timer overhead.
+func Run(ctx context.Context, cfg RunConfig, plan *Plan) (report.ServingStats, error) {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	workers := len(plan.Workers)
+	if workers == 0 {
+		return report.ServingStats{}, fmt.Errorf("livefleet: empty plan")
+	}
+	var interval time.Duration
+	if cfg.QPS > 0 {
+		interval = time.Duration(float64(time.Second) * float64(workers) / cfg.QPS)
+	}
+	tallies := make([]workerTally, workers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		if len(plan.Workers[w]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			runWorker(ctx, cfg, w, plan.Workers[w], interval, &tallies[w])
+		}(w)
+	}
+	wg.Wait()
+	out := report.ServingStats{Label: cfg.Label, Hist: &stats.LatencyHist{}, Elapsed: time.Since(start)}
+	for i := range tallies {
+		t := &tallies[i]
+		out.Hist.Merge(&t.hist)
+		out.Requests += t.requests
+		out.Rejected += t.rejected
+		out.Errors += t.errors
+		out.Timeouts += t.timeouts
+	}
+	if cfg.Label == "" {
+		out.Label = fmt.Sprintf("%d workers", workers)
+	}
+	return out, nil
+}
+
+// runWorker replays one op stream over one connection, reconnecting
+// and resyncing to the next OpLogin after transport failures.
+func runWorker(ctx context.Context, cfg RunConfig, w int, ops []Op, interval time.Duration, t *workerTally) {
+	// Claimed client identity: parseable, distinct per worker, TEST-NET.
+	ip := fmt.Sprintf("203.0.113.%d", 1+w%254)
+	var conn *lgConn
+	defer func() {
+		if conn != nil {
+			conn.c.Close()
+		}
+	}()
+	resync := false
+	next := time.Now()
+	for _, op := range ops {
+		if ctx.Err() != nil {
+			return
+		}
+		if resync && op.Kind != OpLogin {
+			continue // the session these ops assumed is gone
+		}
+		if interval > 0 {
+			if d := time.Until(next); d > time.Millisecond {
+				select {
+				case <-time.After(d):
+				case <-ctx.Done():
+					return
+				}
+			}
+			next = next.Add(interval)
+		}
+		if conn == nil {
+			c, err := dialLG(cfg.Addr, cfg.Timeout)
+			if err != nil {
+				t.errors++
+				resync = true
+				continue
+			}
+			conn = c
+			resync = false
+		}
+		req := requestFromOp(&op, ip)
+		began := time.Now()
+		resp, err := doTimed(conn, req, cfg.Timeout)
+		t.requests++
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				t.timeouts++
+			} else {
+				t.errors++
+			}
+			conn.c.Close()
+			conn = nil
+			resync = true
+			continue
+		}
+		t.hist.Record(time.Since(began))
+		if !resp.OK {
+			t.rejected++
+			if op.Kind == OpLogin {
+				resync = true // visit unusable without a session
+			}
+			continue
+		}
+		resync = false
+		if op.Kind == OpChpass {
+			// chpass self-invalidates the session server-side state the
+			// plan assumes; start the next visit on a fresh connection.
+			conn.c.Close()
+			conn = nil
+			resync = true
+		}
+	}
+}
+
+// requestFromOp converts a planned op to a wire request.
+func requestFromOp(op *Op, ip string) wireRequest {
+	req := wireRequest{Op: op.Kind, Folder: op.Folder, ID: op.ID, Limit: op.Limit,
+		To: op.To, Subject: op.Subject, Body: op.Body, Query: op.Query}
+	switch op.Kind {
+	case OpLogin:
+		req.Account = op.Account
+		req.Password = op.Password
+		req.IP = ip
+		req.City = "Berlin"
+		req.Country = "DE"
+		req.Lat, req.Lon = 52.52, 13.405
+		req.UserAgent = "loadgen/1"
+	case OpChpass:
+		req.Password = op.Password
+	}
+	return req
+}
+
+// wireRequest mirrors webmail.Request's wire shape without importing
+// its MessageID type into the plan layer.
+type wireRequest struct {
+	Op        string  `json:"op"`
+	Account   string  `json:"account,omitempty"`
+	Password  string  `json:"password,omitempty"`
+	IP        string  `json:"ip,omitempty"`
+	City      string  `json:"city,omitempty"`
+	Country   string  `json:"country,omitempty"`
+	Lat       float64 `json:"lat,omitempty"`
+	Lon       float64 `json:"lon,omitempty"`
+	UserAgent string  `json:"user_agent,omitempty"`
+	Folder    string  `json:"folder,omitempty"`
+	ID        int64   `json:"id,omitempty"`
+	Limit     int     `json:"limit,omitempty"`
+	To        string  `json:"to,omitempty"`
+	Subject   string  `json:"subject,omitempty"`
+	Body      string  `json:"body,omitempty"`
+	Query     string  `json:"query,omitempty"`
+}
+
+// wireResponse is the part of the reply the generator inspects.
+type wireResponse struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+}
+
+// doTimed performs one round trip under a deadline.
+func doTimed(conn *lgConn, req wireRequest, timeout time.Duration) (wireResponse, error) {
+	conn.c.SetDeadline(time.Now().Add(timeout))
+	defer conn.c.SetDeadline(time.Time{})
+	if err := conn.enc.Encode(req); err != nil {
+		return wireResponse{}, err
+	}
+	raw, err := conn.br.ReadBytes('\n')
+	if err != nil {
+		return wireResponse{}, err
+	}
+	var resp wireResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return wireResponse{}, err
+	}
+	return resp, nil
+}

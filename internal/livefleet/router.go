@@ -1,0 +1,437 @@
+package livefleet
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/webmail"
+)
+
+// RouterConfig parameterises a Router.
+type RouterConfig struct {
+	// Shards lists the backend webmaild addresses; index i serves
+	// partition i of len(Shards). Required.
+	Shards []string
+	// PoolSize caps the spare pre-established connections kept per
+	// shard (default 8). A session checkout that finds the pool empty
+	// dials; a failed login returns its connection to the pool.
+	PoolSize int
+	// MaxInFlight bounds requests being proxied concurrently across
+	// all clients (default 1024) — the router's backpressure valve:
+	// excess requests queue in their connection's goroutine instead of
+	// piling onto the shards.
+	MaxInFlight int
+	// WriteTimeout is the slow-client guard: a client that cannot
+	// absorb its response within this window is dropped rather than
+	// allowed to pin a backend connection (default 10s).
+	WriteTimeout time.Duration
+	// DialTimeout bounds backend dials (default 5s).
+	DialTimeout time.Duration
+}
+
+func (c *RouterConfig) fill() error {
+	if len(c.Shards) == 0 {
+		return fmt.Errorf("livefleet: router needs at least one shard")
+	}
+	if c.PoolSize <= 0 {
+		c.PoolSize = 8
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 1024
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	return nil
+}
+
+// backendConn pairs a shard connection with its buffered reader so a
+// pooled connection keeps its read state across checkouts.
+type backendConn struct {
+	c     net.Conn
+	br    *bufio.Reader
+	shard int
+}
+
+func (b *backendConn) Close() { b.c.Close() }
+
+// Router fronts a sharded webmaild fleet. It speaks the same
+// newline-JSON wire protocol as a single webmaild: clients connect,
+// LOGIN binds the connection, mailbox ops follow. The router peeks
+// only {op, account} from each frame — on login it hashes the account
+// with webmail.PartitionIndex onto a shard, checks a pooled backend
+// connection out, and on success pins it to the client connection for
+// the session's lifetime (the protocol is session-oriented, so the
+// binding cannot move mid-session). Everything else is forwarded
+// verbatim, which is what keeps the parity contract byte-level.
+type Router struct {
+	cfg   RouterConfig
+	pools []chan *backendConn
+	sem   chan struct{}
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[*routerConn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// routerConn tracks one client connection's drain state (same
+// contract as webmail's srvConn).
+type routerConn struct {
+	net.Conn
+	mu            sync.Mutex
+	busy          bool
+	closeWhenIdle bool
+}
+
+func (c *routerConn) beginRequest() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closeWhenIdle {
+		return false
+	}
+	c.busy = true
+	return true
+}
+
+func (c *routerConn) endRequest() (quit bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.busy = false
+	return c.closeWhenIdle
+}
+
+func (c *routerConn) drain() {
+	c.mu.Lock()
+	idle := !c.busy
+	c.closeWhenIdle = true
+	c.mu.Unlock()
+	if idle {
+		c.Close()
+	}
+}
+
+// NewRouter validates the config and builds an unstarted router.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	r := &Router{
+		cfg:   cfg,
+		pools: make([]chan *backendConn, len(cfg.Shards)),
+		sem:   make(chan struct{}, cfg.MaxInFlight),
+		conns: make(map[*routerConn]struct{}),
+	}
+	for i := range r.pools {
+		r.pools[i] = make(chan *backendConn, cfg.PoolSize)
+	}
+	return r, nil
+}
+
+// Listen binds the router and starts accepting; it returns the bound
+// address. Each shard is probed with one pooled dial first, so a
+// misconfigured fleet fails here rather than on the first login.
+func (r *Router) Listen(addr string) (string, error) {
+	for shard := range r.cfg.Shards {
+		bc, err := r.dial(shard)
+		if err != nil {
+			return "", fmt.Errorf("livefleet: shard %d unreachable: %w", shard, err)
+		}
+		r.putBack(shard, bc)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("livefleet: listen: %w", err)
+	}
+	r.mu.Lock()
+	r.listener = ln
+	r.mu.Unlock()
+	r.wg.Add(1)
+	go r.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (r *Router) acceptLoop(ln net.Listener) {
+	defer r.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		rc := &routerConn{Conn: conn}
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			conn.Close()
+			return
+		}
+		r.conns[rc] = struct{}{}
+		r.mu.Unlock()
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			r.serve(rc)
+			r.mu.Lock()
+			delete(r.conns, rc)
+			r.mu.Unlock()
+		}()
+	}
+}
+
+func (r *Router) dial(shard int) (*backendConn, error) {
+	c, err := net.DialTimeout("tcp", r.cfg.Shards[shard], r.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return &backendConn{c: c, br: bufio.NewReader(c), shard: shard}, nil
+}
+
+// checkout returns a pooled connection to the shard or dials a fresh
+// one.
+func (r *Router) checkout(shard int) (*backendConn, error) {
+	select {
+	case bc := <-r.pools[shard]:
+		return bc, nil
+	default:
+		return r.dial(shard)
+	}
+}
+
+// putBack returns an unbound (never-logged-in) connection to its pool
+// or closes it when the pool is full.
+func (r *Router) putBack(shard int, bc *backendConn) {
+	select {
+	case r.pools[shard] <- bc:
+	default:
+		bc.Close()
+	}
+}
+
+// serve proxies one client connection. A bound backend connection is
+// session state: it dies with the client connection, never returning
+// to the pool (only never-logged-in connections are reusable).
+func (r *Router) serve(rc *routerConn) {
+	defer rc.Close()
+	br := bufio.NewReader(rc)
+	var backend *backendConn
+	defer func() {
+		if backend != nil {
+			backend.Close()
+		}
+	}()
+	for {
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			return
+		}
+		if !rc.beginRequest() {
+			return // draining: the request never started
+		}
+		ok := r.proxy(rc, &backend, line)
+		if rc.endRequest() || !ok {
+			return
+		}
+	}
+}
+
+// localError writes a router-originated error response; it reports
+// whether the client accepted it in time.
+func (r *Router) localError(rc *routerConn, msg string) bool {
+	resp, _ := json.Marshal(webmail.Response{Error: msg})
+	return r.relay(rc, append(resp, '\n'))
+}
+
+// relay writes one response frame under the slow-client deadline.
+func (r *Router) relay(rc *routerConn, frame []byte) bool {
+	rc.SetWriteDeadline(time.Now().Add(r.cfg.WriteTimeout))
+	_, err := rc.Conn.Write(frame)
+	rc.SetWriteDeadline(time.Time{})
+	return err == nil
+}
+
+// proxy handles one request frame; it reports whether the connection
+// should keep being served.
+func (r *Router) proxy(rc *routerConn, backend **backendConn, line []byte) bool {
+	r.sem <- struct{}{} // backpressure: bounded in-flight requests
+	defer func() { <-r.sem }()
+
+	var peek struct {
+		Op      string `json:"op"`
+		Account string `json:"account"`
+	}
+	if err := json.Unmarshal(line, &peek); err != nil {
+		// A malformed frame desyncs the stream; webmaild drops the
+		// connection for these, so the router does too.
+		return false
+	}
+	if *backend == nil && peek.Op != "login" {
+		// Same wording as an unbound shard connection would produce —
+		// pre-binding requests never cost a backend round trip.
+		return r.localError(rc, "webmail: not logged in")
+	}
+	if peek.Op == "login" {
+		shard := webmail.PartitionIndex(peek.Account, len(r.cfg.Shards))
+		// A login aimed at the currently bound shard is forwarded on
+		// the bound connection: the shard rebinds (or, on failure,
+		// keeps) its session exactly like a single webmaild. A login
+		// for a different shard runs on a checked-out connection, and
+		// only a SUCCESS retires the old binding — a failed cross-shard
+		// re-login must leave the previous session alive, matching the
+		// single-process semantics.
+		if old := *backend; old != nil && old.shard == shard {
+			raw, err := forward(old, line)
+			if err != nil {
+				old.Close()
+				*backend = nil
+				r.localError(rc, "webmail: shard connection lost")
+				return false
+			}
+			return r.relay(rc, raw)
+		}
+		bc, err := r.checkout(shard)
+		if err != nil {
+			return r.localError(rc, "webmail: shard unavailable")
+		}
+		ok, raw, err := roundTrip(bc, line)
+		if err != nil {
+			bc.Close()
+			return r.localError(rc, "webmail: shard unavailable")
+		}
+		if ok {
+			if old := *backend; old != nil {
+				old.Close() // the superseded session dies with its conn
+			}
+			*backend = bc
+		} else {
+			// Failed login on a never-bound connection: still clean,
+			// back to the pool. Any previous binding stays in place.
+			r.putBack(shard, bc)
+		}
+		return r.relay(rc, raw)
+	}
+	raw, err := forward(*backend, line)
+	if err != nil {
+		// The bound session is gone; the client must reconnect.
+		(*backend).Close()
+		*backend = nil
+		r.localError(rc, "webmail: shard connection lost")
+		return false
+	}
+	return r.relay(rc, raw)
+}
+
+// forward sends one frame and reads the raw single-line response
+// (json.Encoder frames never contain raw newlines). The bound-session
+// relay path never parses response bodies — a list reply is opaque
+// bytes to the router.
+func forward(bc *backendConn, line []byte) ([]byte, error) {
+	if _, err := bc.c.Write(line); err != nil {
+		return nil, err
+	}
+	return bc.br.ReadBytes('\n')
+}
+
+// roundTrip forwards one frame and additionally decodes the outcome
+// bit — only login routing needs to know whether the shard accepted.
+func roundTrip(bc *backendConn, line []byte) (ok bool, raw []byte, err error) {
+	raw, err = forward(bc, line)
+	if err != nil {
+		return false, nil, err
+	}
+	var resp struct {
+		OK bool `json:"ok"`
+	}
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return false, nil, err
+	}
+	return resp.OK, raw, nil
+}
+
+// Close stops the router and every connection immediately.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	r.closed = true
+	ln := r.listener
+	for c := range r.conns {
+		c.Close()
+	}
+	r.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	r.wg.Wait()
+	r.drainPools()
+	return err
+}
+
+// Drain shuts the router down gracefully with the same contract as
+// webmail.Server.Drain: no new connections, idle clients drop, each
+// in-flight request finishes its response. On ctx expiry the
+// straggler sockets are force-closed and ctx.Err() returned.
+func (r *Router) Drain(ctx context.Context) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	ln := r.listener
+	r.listener = nil
+	conns := make([]*routerConn, 0, len(r.conns))
+	for c := range r.conns {
+		conns = append(conns, c)
+	}
+	r.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.drain()
+	}
+	done := make(chan struct{})
+	go func() {
+		r.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		r.mu.Lock()
+		for c := range r.conns {
+			c.Close()
+		}
+		r.mu.Unlock()
+		err = ctx.Err()
+	}
+	r.drainPools()
+	return err
+}
+
+func (r *Router) drainPools() {
+	for _, pool := range r.pools {
+		for {
+			select {
+			case bc := <-pool:
+				bc.Close()
+			default:
+			}
+			if len(pool) == 0 {
+				break
+			}
+		}
+	}
+}
+
+// Shards returns the number of backend shards the router fronts.
+func (r *Router) Shards() int { return len(r.cfg.Shards) }

@@ -1,0 +1,65 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+func TestServingLatencySection(t *testing.T) {
+	var h stats.LatencyHist
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * 100 * time.Microsecond) // 0.1ms..100ms
+	}
+	out := ServingLatency([]ServingStats{{
+		Label:    "2 shards",
+		Hist:     &h,
+		Requests: 1000,
+		Rejected: 7,
+		Errors:   0,
+		Timeouts: 0,
+		Elapsed:  2 * time.Second,
+	}})
+	for _, want := range []string{"Serving latency (live fleet)", "p99", "2 shards", "500", "req/s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("section missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestServingLatencyNilHist: a run whose workers never completed a
+// request renders zeros instead of panicking.
+func TestServingLatencyNilHist(t *testing.T) {
+	out := ServingLatency([]ServingStats{{Label: "dead", Requests: 0}})
+	if !strings.Contains(out, "dead") {
+		t.Fatalf("missing label:\n%s", out)
+	}
+}
+
+func TestServingStatsThroughput(t *testing.T) {
+	s := ServingStats{Requests: 500, Elapsed: 2 * time.Second}
+	if got := s.Throughput(); got != 250 {
+		t.Fatalf("throughput = %g, want 250", got)
+	}
+	if got := (ServingStats{Requests: 5}).Throughput(); got != 0 {
+		t.Fatalf("zero-elapsed throughput = %g, want 0", got)
+	}
+}
+
+func TestFmtLatency(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{250 * time.Microsecond, "250µs"},
+		{1500 * time.Microsecond, "1.50ms"},
+		{2500 * time.Millisecond, "2.50s"},
+	}
+	for _, c := range cases {
+		if got := fmtLatency(c.d); got != c.want {
+			t.Fatalf("fmtLatency(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package sinkhole
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"net"
 	"strings"
@@ -81,14 +82,51 @@ type Server struct {
 
 	mu       sync.Mutex
 	listener net.Listener
-	conns    map[net.Conn]struct{}
+	conns    map[*smtpConn]struct{}
 	wg       sync.WaitGroup
 	closed   bool
 }
 
+// smtpConn tracks one session's drain state: busy while a command
+// (including a DATA payload) is being handled, and flagged to close
+// once the current command's reply has been flushed.
+type smtpConn struct {
+	net.Conn
+	mu            sync.Mutex
+	busy          bool
+	closeWhenIdle bool
+}
+
+func (c *smtpConn) beginCommand() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closeWhenIdle {
+		return false
+	}
+	c.busy = true
+	return true
+}
+
+func (c *smtpConn) endCommand() (quit bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.busy = false
+	return c.closeWhenIdle
+}
+
+func (c *smtpConn) drain() {
+	c.mu.Lock()
+	idle := !c.busy
+	c.closeWhenIdle = true
+	c.mu.Unlock()
+	if idle {
+		c.Close()
+	}
+}
+
 // NewServer wraps a store.
 func NewServer(store *Store) *Server {
-	return &Server{store: store, conns: make(map[net.Conn]struct{})}
+	return &Server{store: store, conns: make(map[*smtpConn]struct{})}
 }
 
 // Listen binds the server and starts accepting; it returns the bound
@@ -113,20 +151,21 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return
 		}
+		sc := &smtpConn{Conn: conn}
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
 			conn.Close()
 			return
 		}
-		s.conns[conn] = struct{}{}
+		s.conns[sc] = struct{}{}
 		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			s.serve(conn)
+			s.serve(sc)
 			s.mu.Lock()
-			delete(s.conns, conn)
+			delete(s.conns, sc)
 			s.mu.Unlock()
 		}()
 	}
@@ -149,9 +188,53 @@ func (s *Server) Close() error {
 	return err
 }
 
+// Drain shuts the sinkhole down gracefully: the listener closes, idle
+// sessions drop, and a session mid-command (including mid-DATA) gets
+// to flush its reply first. If ctx expires the straggler sockets are
+// force-closed and ctx.Err() is returned.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	// closed first: any accept racing the listener close is refused
+	// instead of escaping the conns snapshot below.
+	s.closed = true
+	ln := s.listener
+	s.listener = nil
+	conns := make([]*smtpConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.drain()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
 // serve handles one SMTP-subset session. The grammar is deliberately
 // permissive: a sinkhole's job is to swallow whatever arrives.
-func (s *Server) serve(conn net.Conn) {
+func (s *Server) serve(conn *smtpConn) {
 	defer conn.Close()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
@@ -164,61 +247,57 @@ func (s *Server) serve(conn net.Conn) {
 	}
 	var from string
 	var rcpts []string
-	for {
-		line, err := r.ReadString('\n')
-		if err != nil {
-			return
-		}
-		line = strings.TrimRight(line, "\r\n")
+	// handle processes one command line; ok is false on a dead client
+	// or a QUIT.
+	handle := func(line string) (ok bool) {
 		verb := strings.ToUpper(line)
 		switch {
 		case strings.HasPrefix(verb, "HELO") || strings.HasPrefix(verb, "EHLO"):
-			if !say(250, "sinkhole greets you") {
-				return
-			}
+			return say(250, "sinkhole greets you")
 		case strings.HasPrefix(verb, "MAIL FROM:"):
 			from = strings.Trim(line[len("MAIL FROM:"):], " <>")
 			rcpts = nil
-			if !say(250, "ok") {
-				return
-			}
+			return say(250, "ok")
 		case strings.HasPrefix(verb, "RCPT TO:"):
 			rcpts = append(rcpts, strings.Trim(line[len("RCPT TO:"):], " <>"))
-			if !say(250, "ok") {
-				return
-			}
+			return say(250, "ok")
 		case verb == "DATA":
 			if !say(354, "end data with <CRLF>.<CRLF>") {
-				return
+				return false
 			}
 			subject, body, err := readData(r)
 			if err != nil {
-				return
+				return false
 			}
 			at := s.store.now()
 			for _, to := range rcpts {
 				s.store.Deliver(from, to, subject, body, at)
 			}
-			if !say(250, "swallowed") {
-				return
-			}
+			return say(250, "swallowed")
 		case verb == "QUIT":
 			say(221, "bye")
-			return
+			return false
 		case verb == "RSET":
 			from, rcpts = "", nil
-			if !say(250, "ok") {
-				return
-			}
+			return say(250, "ok")
 		case verb == "NOOP":
-			if !say(250, "ok") {
-				return
-			}
+			return say(250, "ok")
 		default:
 			// Sinkholes do not argue with clients.
-			if !say(250, "ok (ignored)") {
-				return
-			}
+			return say(250, "ok (ignored)")
+		}
+	}
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		if !conn.beginCommand() {
+			return // draining: the command never started
+		}
+		ok := handle(strings.TrimRight(line, "\r\n"))
+		if conn.endCommand() || !ok {
+			return
 		}
 	}
 }

@@ -88,7 +88,7 @@ func FuzzServerConn(f *testing.F) {
 		svc := fuzzService(t)
 		srv := NewServer(svc)
 		conn := &byteConn{in: bytes.NewReader(data)}
-		srv.serveConn(conn)
+		srv.serveConn(&srvConn{Conn: conn})
 
 		// Every reply frame the server produced must decode as a
 		// Response — half-written or interleaved frames would desync

@@ -197,6 +197,165 @@ func TestWireConcurrentClients(t *testing.T) {
 	}
 }
 
+// TestServerDrainFinishesInFlight: Drain lets a request that is being
+// processed write its response before the connection closes, while
+// idle connections drop immediately and new ones are refused — the
+// graceful-drain contract the live fleet's SIGTERM handling relies on.
+func TestServerDrainFinishesInFlight(t *testing.T) {
+	clock := simtime.NewClock(epoch)
+	// An outbound sink the test can block: the "send" request parks
+	// inside Deliver until released, holding the request in flight.
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	svc := NewService(Config{Clock: clock, Outbound: OutboundFunc(func(string, string, string, string, time.Time) error {
+		entered <- struct{}{}
+		<-gate
+		return nil
+	})})
+	if err := svc.CreateAccount("alice@honeymail.example", "hunter2", "Alice"); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(svc)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	space := netsim.NewAddressSpace(rng.New(1), geo.Default())
+	busy := dialT(t, addr)
+	ep, _ := space.FromCity("Berlin")
+	if resp, err := busy.Login("alice@honeymail.example", "hunter2", "", ep); err != nil || !resp.OK {
+		t.Fatalf("login: %v %+v", err, resp)
+	}
+	idle := dialT(t, addr)
+	// One round trip guarantees the server accepted and is serving the
+	// connection before Drain snapshots; it then sits idle in Decode.
+	if resp, err := idle.Do(Request{Op: "list", Folder: "inbox"}); err != nil || resp.OK {
+		t.Fatalf("pre-login list on idle conn: %v %+v", err, resp)
+	}
+
+	// Park a send mid-flight on the busy connection.
+	type sendResult struct {
+		resp Response
+		err  error
+	}
+	sent := make(chan sendResult, 1)
+	go func() {
+		resp, err := busy.Do(Request{Op: "send", To: "victim@victims.example", Subject: "s", Body: "b"})
+		sent <- sendResult{resp, err}
+	}()
+	<-entered
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drained <- srv.Drain(ctx)
+	}()
+
+	// The idle connection must drop without waiting for the busy one.
+	idleDead := make(chan struct{})
+	go func() {
+		idle.Do(Request{Op: "list", Folder: "inbox"})
+		close(idleDead)
+	}()
+	select {
+	case <-idleDead:
+	case <-time.After(5 * time.Second):
+		t.Fatal("idle connection survived drain")
+	}
+
+	// New connections are refused while draining.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	if c, err := Dial(ctx, addr); err == nil {
+		// Some kernels accept into the backlog of a closed listener;
+		// the request itself must still fail.
+		if _, err := c.Do(Request{Op: "list"}); err == nil {
+			t.Fatal("request on a draining server succeeded")
+		}
+		c.Close()
+	}
+	cancel()
+
+	// Release the gate: the in-flight send must complete with a real
+	// response, then the drain finishes.
+	close(gate)
+	select {
+	case r := <-sent:
+		if r.err != nil || !r.resp.OK {
+			t.Fatalf("in-flight send after drain: %v %+v", r.err, r.resp)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight send never completed")
+	}
+	select {
+	case err := <-drained:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain never returned")
+	}
+	// The drained connection is closed: the next request fails.
+	if _, err := busy.Do(Request{Op: "list", Folder: "inbox"}); err == nil {
+		t.Fatal("request on a drained connection succeeded")
+	}
+}
+
+// TestServerDrainTimeoutForcesClose: a connection that never finishes
+// its in-flight request cannot hold Drain hostage past the context.
+func TestServerDrainTimeoutForcesClose(t *testing.T) {
+	clock := simtime.NewClock(epoch)
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	svc := NewService(Config{Clock: clock, Outbound: OutboundFunc(func(string, string, string, string, time.Time) error {
+		entered <- struct{}{}
+		<-gate
+		return nil
+	})})
+	defer close(gate)
+	if err := svc.CreateAccount("alice@honeymail.example", "hunter2", "Alice"); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(svc)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := netsim.NewAddressSpace(rng.New(1), geo.Default())
+	c := dialT(t, addr)
+	ep, _ := space.FromCity("Berlin")
+	if resp, err := c.Login("alice@honeymail.example", "hunter2", "", ep); err != nil || !resp.OK {
+		t.Fatalf("login: %v %+v", err, resp)
+	}
+	go c.Do(Request{Op: "send", To: "v@victims.example", Subject: "s", Body: "b"})
+	<-entered
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := srv.Drain(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("drain = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestServerDrainIdempotent: draining twice (or after Close) returns
+// immediately instead of deadlocking.
+func TestServerDrainIdempotent(t *testing.T) {
+	svc := NewService(Config{Clock: simtime.NewClock(epoch)})
+	srv := NewServer(svc)
+	if _, err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+}
+
 func TestServerCloseUnblocksClients(t *testing.T) {
 	svc := NewService(Config{Clock: simtime.NewClock(epoch)})
 	srv := NewServer(svc)

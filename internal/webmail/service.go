@@ -184,15 +184,24 @@ func (s *Service) ConfigurePartition(i int, now func() time.Time, outbound Outbo
 	return nil
 }
 
-// partitionFor hashes an address onto a partition (FNV-1a), the
-// default placement for accounts created without an explicit shard.
-func (s *Service) partitionFor(address string) int {
+// PartitionIndex hashes an address onto one of n partitions (FNV-1a).
+// It is THE fleet-wide placement function: the in-process service, the
+// live-fleet router, the per-shard snapshot boot and the load
+// generator's client-side routing all call it, so an account lands on
+// the same shard whichever layer asks.
+func PartitionIndex(address string, n int) int {
 	h := uint64(1469598103934665603)
 	for i := 0; i < len(address); i++ {
 		h ^= uint64(address[i])
 		h *= 1099511628211
 	}
-	return int(h % uint64(len(s.parts)))
+	return int(h % uint64(n))
+}
+
+// partitionFor hashes an address onto a partition, the default
+// placement for accounts created without an explicit shard.
+func (s *Service) partitionFor(address string) int {
+	return PartitionIndex(address, len(s.parts))
 }
 
 // lookup resolves an address to its partition without touching any

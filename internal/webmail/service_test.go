@@ -465,3 +465,28 @@ func TestListSortedChronologically(t *testing.T) {
 		t.Fatalf("order = %v, %v", msgs[0].Subject, msgs[1].Subject)
 	}
 }
+
+func TestListNBoundsToNewest(t *testing.T) {
+	f := newFixture(t, Config{})
+	for i, subj := range []string{"third", "first", "second"} {
+		// Seed out of date order so the limit is applied on the date
+		// column, not on insertion order.
+		offs := []time.Duration{3 * time.Hour, time.Hour, 2 * time.Hour}[i]
+		f.svc.Seed("alice@honeymail.example", FolderInbox, "b@x", "a", subj, "b", epoch.Add(offs))
+	}
+	se := f.login(t)
+	msgs, err := se.ListN(FolderInbox, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 2 || msgs[0].Subject != "second" || msgs[1].Subject != "third" {
+		t.Fatalf("ListN(2) = %+v", msgs)
+	}
+	// A limit at or above the folder size, and 0, return everything.
+	for _, limit := range []int{0, 3, 99} {
+		msgs, err = se.ListN(FolderInbox, limit)
+		if err != nil || len(msgs) != 3 {
+			t.Fatalf("ListN(%d): %v, %d messages", limit, err, len(msgs))
+		}
+	}
+}

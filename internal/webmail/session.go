@@ -62,19 +62,42 @@ func cmpMessage(x, y Message) int {
 
 // List returns the messages of a folder, oldest first.
 func (se *Session) List(folder Folder) ([]Message, error) {
+	return se.ListN(folder, 0)
+}
+
+// ListN returns the newest limit messages of a folder, oldest first;
+// limit <= 0 means the whole folder. This is the bounded variant the
+// wire protocol's list op uses (Request.Limit), so a single response
+// cannot grow with mailbox size: the newest-N rows are selected on
+// the compact date column before any message text is materialized.
+func (se *Session) ListN(folder Folder, limit int) ([]Message, error) {
 	se.part.mu.Lock()
 	defer se.part.mu.Unlock()
 	a, err := se.touch()
 	if err != nil {
 		return nil, err
 	}
-	var out []Message
+	var idx []int
 	for i, f := range a.msgs.folder {
 		if f == folder && a.msgs.text[i] != nil {
-			out = append(out, a.msgs.materialize(i))
+			idx = append(idx, i)
 		}
 	}
-	slices.SortFunc(out, cmpMessage)
+	// Same (date, ID) order cmpMessage imposes on materialized
+	// values; row index i carries ID i+1, so index order is ID order.
+	slices.SortFunc(idx, func(x, y int) int {
+		if c := cmp.Compare(a.msgs.dateNS[x], a.msgs.dateNS[y]); c != 0 {
+			return c
+		}
+		return cmp.Compare(x, y)
+	})
+	if limit > 0 && len(idx) > limit {
+		idx = idx[len(idx)-limit:]
+	}
+	out := make([]Message, len(idx))
+	for j, i := range idx {
+		out[j] = a.msgs.materialize(i)
+	}
 	return out, nil
 }
 
