@@ -507,19 +507,36 @@ func BenchmarkMonitorScrape(b *testing.B) {
 // allocation counts across machines where wall-clock seconds do not
 // transfer.
 func benchShardedRun(b *testing.B, shards, scale int) {
+	benchShardedRunCfg(b, honeynet.Config{
+		Seed:        42,
+		Shards:      shards,
+		ScaleFactor: scale,
+	})
+}
+
+// benchShardedRunCfg runs one full deployment per iteration under an
+// arbitrary config, timing the setup phase separately (the
+// setup-seconds metric bench_snapshot.sh records) alongside the
+// whole-run seconds and the live-heap footprint.
+func benchShardedRunCfg(b *testing.B, cfg honeynet.Config) {
 	b.Helper()
 	b.ReportAllocs()
 	var keep *honeynet.Experiment
+	var setupTotal time.Duration
 	for i := 0; i < b.N; i++ {
-		exp, err := honeynet.New(honeynet.Config{
-			Seed:        42,
-			Shards:      shards,
-			ScaleFactor: scale,
-		})
+		exp, err := honeynet.New(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := exp.RunAll(); err != nil {
+		setupStart := time.Now()
+		if err := exp.Setup(); err != nil {
+			b.Fatal(err)
+		}
+		setupTotal += time.Since(setupStart)
+		if err := exp.Leak(); err != nil {
+			b.Fatal(err)
+		}
+		if err := exp.Run(); err != nil {
 			b.Fatal(err)
 		}
 		agg, err := exp.Aggregates()
@@ -531,6 +548,7 @@ func benchShardedRun(b *testing.B, shards, scale int) {
 		}
 		keep = exp
 	}
+	b.ReportMetric(setupTotal.Seconds()/float64(b.N), "setup-seconds")
 	// Live heap with a completed deployment still reachable: the
 	// retained fleet footprint (accounts, mailboxes, observation
 	// columns) after a GC, reported so the scaling-ceilings table in
@@ -562,12 +580,16 @@ func BenchmarkShardedRun(b *testing.B) {
 // scale=100 is a 10,000-account deployment (100x the paper), and
 // setting BENCH_XXL=1 adds scale=1000 — the 100,000-account run that
 // takes tens of minutes on one core and is only worth timing on a
-// multi-core box. The shards=1 vs shards=4 pair at scale=100 is the
-// multi-core scaling contract: CI's bench-multicore job (4 vCPUs)
-// fails unless shards=4 is at least 1.5x faster. The live-heap-bytes
-// metric from benchShardedRun is the other half of the lane: scale=100
-// must retain no more than 10x the heap of scale=10, or per-account
-// cost has regressed superlinearly.
+// multi-core box. Fleet scale runs the parallel setup layout
+// (SetupSeed != 0, one worker per CPU) — the configuration the
+// scenario matrix and any scale-chasing deployment actually uses.
+// The shards=1 vs shards=4 pair at scale=100 is the multi-core
+// scaling contract: CI's bench-multicore job (4 vCPUs) fails unless
+// shards=4 is at least 1.5x faster. The allocs/op and live-heap-bytes
+// metrics at shards=4/scale=100 are strict regression gates
+// (scripts/check_bench_regression.sh); live heap must also stay
+// within 10x of scale=10, or per-account cost has regressed
+// superlinearly.
 func BenchmarkShardedRunXL(b *testing.B) {
 	scales := []int{100}
 	if os.Getenv("BENCH_XXL") != "" {
@@ -576,9 +598,44 @@ func BenchmarkShardedRunXL(b *testing.B) {
 	for _, scale := range scales {
 		for _, shards := range []int{1, 4} {
 			b.Run(fmt.Sprintf("shards=%d/scale=%d", shards, scale), func(b *testing.B) {
-				benchShardedRun(b, shards, scale)
+				benchShardedRunCfg(b, honeynet.Config{
+					Seed:        42,
+					SetupSeed:   7,
+					Shards:      shards,
+					ScaleFactor: scale,
+				})
 			})
 		}
+	}
+}
+
+// BenchmarkSetupXL isolates the cold setup phase at fleet scale:
+// 10,000 accounts created, seeded and instrumented, nothing else.
+// The setup-workers=1 vs setup-workers=4 pair is the parallel-setup
+// scaling contract — CI's bench-multicore job (4 vCPUs) fails unless
+// 4 workers beat 1 by at least 2x — and TestParallelSetupInvariance
+// holds the other side of the bargain: the worker count never moves
+// a byte of output.
+func BenchmarkSetupXL(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("setup-workers=%d/scale=100", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				exp, err := honeynet.New(honeynet.Config{
+					Seed:         42,
+					SetupSeed:    7,
+					SetupWorkers: workers,
+					Shards:       4,
+					ScaleFactor:  100,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := exp.Setup(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

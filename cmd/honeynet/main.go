@@ -56,6 +56,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -85,8 +86,9 @@ func main() {
 		scen       = flag.String("scenario", "", "run one scenario (preset name or TOML/JSON file) and print its full report")
 		matrix     = flag.String("matrix", "", "comma-separated scenarios to run concurrently and compare (first is the baseline column)")
 		outDir     = flag.String("out", "", "directory for per-scenario JSON aggregate artifacts")
-		workers    = flag.Int("workers", 0, "matrix-wide worker budget shared by all scenarios (0 = one per CPU)")
-		setupSeed  = flag.Int64("setup-seed", 0, "give the setup phase its own seed stream so -resume can fork the same accounts under different -seed values (0 = setup shares the experiment seed)")
+		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "matrix-wide worker budget shared by all scenarios (default: one per CPU)")
+		setupWorkers = flag.Int("setup-workers", runtime.GOMAXPROCS(0), "goroutines for the parallel account-setup layout selected by -setup-seed; never changes results (default: one per CPU)")
+		setupSeed    = flag.Int64("setup-seed", 0, "give the setup phase its own seed stream so -resume can fork the same accounts under different -seed values (0 = setup shares the experiment seed)")
 		checkpoint = flag.String("checkpoint", "", "write a post-setup snapshot to this file, then continue the run")
 		resumeFile = flag.String("resume", "", "resume from a post-setup snapshot file instead of re-simulating setup")
 		warmStart  = flag.Bool("warm-start", true, "fork matrix scenarios that share a setup phase from one snapshot (false = simulate every setup; identical output)")
@@ -100,6 +102,12 @@ func main() {
 	}
 	if *scale < 1 {
 		*scale = 1
+	}
+	if err := validateWorkers("workers", *workers); err != nil {
+		log.Fatal(err)
+	}
+	if err := validateWorkers("setup-workers", *setupWorkers); err != nil {
+		log.Fatal(err)
 	}
 
 	if *cpuprofile != "" {
@@ -185,6 +193,8 @@ func main() {
 				cfg.Seed = *seed
 			case "setup-seed":
 				cfg.SetupSeed = *setupSeed
+			case "setup-workers":
+				cfg.SetupWorkers = *setupWorkers
 			case "days":
 				cfg.Duration = time.Duration(*days) * 24 * time.Hour
 			case "shards":
@@ -223,6 +233,7 @@ func main() {
 		cfg := honeynet.Config{
 			Seed:                 *seed,
 			SetupSeed:            *setupSeed,
+			SetupWorkers:         *setupWorkers,
 			Duration:             time.Duration(*days) * 24 * time.Hour,
 			Shards:               *shards,
 			ScaleFactor:          *scale,
@@ -441,6 +452,20 @@ func runMatrix(args []string, opts scenario.Options, outDir string) {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// errBadWorkers rejects worker budgets below one: zero workers would
+// deadlock the pool and a negative count is always a typo, so both
+// fail fast instead of being silently clamped.
+var errBadWorkers = errors.New("worker counts must be at least 1 (omit the flag for the default, one per CPU)")
+
+// validateWorkers applies errBadWorkers to one worker-count flag,
+// naming the flag and value in the error.
+func validateWorkers(flagName string, n int) error {
+	if n < 1 {
+		return fmt.Errorf("-%s %d: %w", flagName, n, errBadWorkers)
+	}
+	return nil
 }
 
 // validateShards rejects shard counts the deployment cannot fill: a

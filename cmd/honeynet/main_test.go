@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -53,5 +54,38 @@ func TestValidateShardsAgainstPlan(t *testing.T) {
 	}
 	if err := validateShards(101, scaled); err != nil {
 		t.Fatalf("101 shards over 200 accounts rejected: %v", err)
+	}
+}
+
+// TestValidateWorkers: both worker-count flags (-workers and
+// -setup-workers) reject values below one with an error naming the
+// flag; any positive budget is accepted (worker counts never change
+// results, only wall-clock).
+func TestValidateWorkers(t *testing.T) {
+	for _, flagName := range []string{"workers", "setup-workers"} {
+		for _, c := range []struct {
+			n       int
+			wantErr bool
+		}{
+			{1, false},
+			{4, false},
+			{128, false},
+			{0, true},
+			{-3, true},
+		} {
+			err := validateWorkers(flagName, c.n)
+			if (err != nil) != c.wantErr {
+				t.Errorf("validateWorkers(%q, %d) = %v, wantErr=%v", flagName, c.n, err, c.wantErr)
+			}
+			if err == nil {
+				continue
+			}
+			if !errors.Is(err, errBadWorkers) {
+				t.Errorf("validateWorkers(%q, %d) not wrapped in errBadWorkers: %v", flagName, c.n, err)
+			}
+			if !strings.Contains(err.Error(), "-"+flagName) {
+				t.Errorf("error %q does not name -%s", err, flagName)
+			}
+		}
 	}
 }

@@ -410,7 +410,7 @@ func TestSummarizeOverview(t *testing.T) {
 
 func TestKeywordInferencePipeline(t *testing.T) {
 	ds := &Dataset{
-		Contents: map[string]map[int64]string{
+		Contents: MapContents{
 			"a": {
 				1: "Wire transfer confirmation: the payment settled against the company account.",
 				2: "The company energy report for the quarter is attached with power figures.",

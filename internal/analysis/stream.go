@@ -568,7 +568,7 @@ func (agg *Aggregates) LocationSignificance(resamples int, seed int64) []Signifi
 
 // KeywordInference runs the §4.6 TF-IDF pipeline from the aggregated
 // read/draft events against the seeded contents.
-func (agg *Aggregates) KeywordInference(contents map[string]map[int64]string, dropWords []string) *TFIDFResult {
+func (agg *Aggregates) KeywordInference(contents ContentsView, dropWords []string) *TFIDFResult {
 	return KeywordInferenceFromEvents(agg.Reads, agg.Drafts, contents, dropWords)
 }
 

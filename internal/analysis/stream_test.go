@@ -42,7 +42,7 @@ func streamFixture() *Dataset {
 		},
 		Blacklisted:       map[string]bool{"10.0.0.3": true},
 		SuspendedAccounts: 2,
-		Contents: map[string]map[int64]string{
+		Contents: MapContents{
 			"a@x": {5: "wire transfer statement account"},
 			"c@x": {9: "invoice payment details"},
 		},

@@ -142,7 +142,7 @@ func KeywordInference(ds *Dataset, dropWords []string) *TFIDFResult {
 // disjoint across shards, so shard event lists simply concatenate).
 // TF-IDF weighs term *counts*, so the event order never matters and
 // the result is identical to the dataset path over the same events.
-func KeywordInferenceFromEvents(reads []ReadEvent, drafts []DraftEvent, contents map[string]map[int64]string, dropWords []string) *TFIDFResult {
+func KeywordInferenceFromEvents(reads []ReadEvent, drafts []DraftEvent, contents ContentsView, dropWords []string) *TFIDFResult {
 	opts := corpus.DefaultTokenizeOptions()
 	if len(dropWords) > 0 {
 		opts.DropWords = make(map[string]bool, len(dropWords))
@@ -150,13 +150,18 @@ func KeywordInferenceFromEvents(reads []ReadEvent, drafts []DraftEvent, contents
 			opts.DropWords[w] = true
 		}
 	}
-
-	var readTokens, allTokens []string
-	for _, msgs := range contents {
-		for _, text := range msgs {
-			allTokens = append(allTokens, corpus.Tokenize(text, opts)...)
-		}
+	if contents == nil {
+		contents = MapContents(nil)
 	}
+
+	// Subject and body tokenize separately here; the tokenizer splits
+	// on the newline that used to join them, so the term counts — the
+	// only thing TF-IDF consumes — are unchanged.
+	var readTokens, allTokens []string
+	contents.Each(func(_ string, _ int64, subject, body string) {
+		allTokens = append(allTokens, corpus.Tokenize(subject, opts)...)
+		allTokens = append(allTokens, corpus.Tokenize(body, opts)...)
+	})
 	// Attacker-authored drafts are known only from the script's draft
 	// copies; index them so later reads of those drafts contribute
 	// their text to dR. This is exactly how bitcoin vocabulary entered
@@ -174,8 +179,9 @@ func KeywordInferenceFromEvents(reads []ReadEvent, drafts []DraftEvent, contents
 		m[d.Message] = d.Body
 	}
 	for _, r := range reads {
-		if text, ok := contents[r.Account][r.Message]; ok {
-			readTokens = append(readTokens, corpus.Tokenize(text, opts)...)
+		if subject, body, ok := contents.Message(r.Account, r.Message); ok {
+			readTokens = append(readTokens, corpus.Tokenize(subject, opts)...)
+			readTokens = append(readTokens, corpus.Tokenize(body, opts)...)
 		} else if body, ok := draftBodies[r.Account][r.Message]; ok {
 			readTokens = append(readTokens, corpus.Tokenize(body, opts)...)
 		}

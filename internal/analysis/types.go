@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"strings"
 	"time"
 
 	"repro/internal/geo"
@@ -95,8 +96,62 @@ type Dataset struct {
 	Blacklisted map[string]bool
 	// SuspendedAccounts counts accounts the platform blocked (§4.1).
 	SuspendedAccounts int
-	// Contents maps account → message id → subject+body text of all
-	// seeded mail; together with draft bodies from notifications it
+	// Contents exposes the seeded mail text (account → message id →
+	// subject/body); together with draft bodies from notifications it
 	// reconstructs the text of every read email for TF-IDF (§4.6).
-	Contents map[string]map[int64]string
+	Contents ContentsView
+}
+
+// ContentsView is a read-only view of the seeded mailbox text: every
+// message the setup phase placed in a honey account, addressable by
+// (account, message id). The honeynet implements it lazily over
+// webmail's columnar message store, so analysis reads the one stored
+// copy instead of a per-experiment duplicate; tests and external
+// callers use MapContents for literal corpora.
+type ContentsView interface {
+	// Accounts returns how many accounts the view covers.
+	Accounts() int
+	// Message returns the stored subject and body of one seeded
+	// message; ok is false when the account or id is not part of the
+	// seeded corpus.
+	Message(account string, id int64) (subject, body string, ok bool)
+	// Each visits every seeded message exactly once. Visit order is
+	// unspecified — TF-IDF weighs term counts, so consumers must not
+	// depend on it.
+	Each(fn func(account string, id int64, subject, body string))
+}
+
+// MapContents adapts the historical map form — account → id →
+// "subject\nbody" — to ContentsView. A nil map is a valid empty view.
+type MapContents map[string]map[int64]string
+
+// Accounts implements ContentsView.
+func (m MapContents) Accounts() int { return len(m) }
+
+// Message implements ContentsView, splitting the stored text at the
+// first newline (subjects never contain one).
+func (m MapContents) Message(account string, id int64) (subject, body string, ok bool) {
+	text, ok := m[account][id]
+	if !ok {
+		return "", "", false
+	}
+	subject, body = splitSubject(text)
+	return subject, body, true
+}
+
+// Each implements ContentsView.
+func (m MapContents) Each(fn func(account string, id int64, subject, body string)) {
+	for account, msgs := range m {
+		for id, text := range msgs {
+			subject, body := splitSubject(text)
+			fn(account, id, subject, body)
+		}
+	}
+}
+
+func splitSubject(text string) (subject, body string) {
+	if i := strings.IndexByte(text, '\n'); i >= 0 {
+		return text[:i], text[i+1:]
+	}
+	return text, ""
 }

@@ -25,7 +25,7 @@ func TestFacadeRunsExperiment(t *testing.T) {
 		t.Fatal(err)
 	}
 	var ds *Dataset = exp.Dataset()
-	if ds == nil || len(ds.Contents) != 5 {
+	if ds == nil || ds.Contents.Accounts() != 5 {
 		t.Fatalf("dataset = %+v", ds)
 	}
 }

@@ -216,6 +216,45 @@ func NewPersonasLocale(src *rng.Source, n int, loc Locale) []Persona {
 	return out
 }
 
+// PersonaAt draws one persona from a locale's pools — the order-free
+// per-account form of NewPersonasLocale used by the honeynet's
+// parallel setup layout. The draw sequence per persona is identical
+// (first, last, title, department); what differs is that each call
+// reads a caller-supplied source, so personas derive from independent
+// per-account substreams instead of one shared cursor. Email
+// collisions are the caller's to resolve, in a deterministic serial
+// pass, via SuffixEmail.
+func PersonaAt(src *rng.Source, loc Locale) Persona {
+	if len(loc.First) == 0 || len(loc.Last) == 0 {
+		def := DefaultLocale()
+		loc.First, loc.Last = def.First, def.Last
+	}
+	if loc.Domain == "" {
+		loc.Domain = DefaultLocale().Domain
+	}
+	first := rng.Pick(src, loc.First)
+	last := rng.Pick(src, loc.Last)
+	return Persona{
+		First:      first,
+		Last:       last,
+		Email:      strings.ToLower(first) + "." + strings.ToLower(last) + "@" + loc.Domain,
+		Title:      rng.Pick(src, titles),
+		Department: rng.Pick(src, departments),
+	}
+}
+
+// SuffixEmail returns the persona's address disambiguated with a
+// numeric suffix, the same convention NewPersonasLocale (and real
+// providers) use for name collisions; n is the caller's collision
+// counter (the honeynet uses the account index).
+func (p Persona) SuffixEmail(n int) string {
+	domain := ""
+	if at := strings.IndexByte(p.Email, '@'); at >= 0 {
+		domain = p.Email[at+1:]
+	}
+	return fmt.Sprintf("%s.%s%d@%s", strings.ToLower(p.First), strings.ToLower(p.Last), n, domain)
+}
+
 // template is a mail blueprint. Slots of the form {word} are filled
 // per message: {peer} a colleague's first name, {company} the
 // fictitious company, plus topic-specific slots.
@@ -378,7 +417,8 @@ type Generator struct {
 	src      *rng.Source
 	weights  []float64
 	contacts []Persona
-	scratch  []byte // render buffer, reused across messages
+	scratch  []byte          // render buffer, reused across messages
+	offsets  []time.Duration // date-offset buffer, reused across mailboxes
 }
 
 // NewGenerator builds a Generator with a pool of corporate contacts
@@ -418,13 +458,26 @@ func (g *Generator) Mailbox(owner Persona, n int, start, end time.Time) []Messag
 	if n <= 0 {
 		return nil
 	}
+	return g.MailboxAppend(nil, owner, n, start, end)
+}
+
+// MailboxAppend is Mailbox appending into dst — setup loops pass a
+// recycled buffer (dst[:0]) so seeding a fleet allocates one Message
+// slice per worker, not one per account. Draw order is identical to
+// Mailbox.
+func (g *Generator) MailboxAppend(dst []Message, owner Persona, n int, start, end time.Time) []Message {
+	if n <= 0 {
+		return dst
+	}
 	if !end.After(start) {
 		panic("corpus: Mailbox requires end after start")
 	}
 	span := end.Sub(start)
-	msgs := make([]Message, 0, n)
 	// Deterministic, sorted offsets keep mailbox order chronological.
-	offsets := make([]time.Duration, n)
+	if cap(g.offsets) < n {
+		g.offsets = make([]time.Duration, n)
+	}
+	offsets := g.offsets[:n]
 	for i := range offsets {
 		offsets[i] = time.Duration(g.src.Float64() * float64(span))
 	}
@@ -432,10 +485,26 @@ func (g *Generator) Mailbox(owner Persona, n int, start, end time.Time) []Messag
 	for i := 0; i < n; i++ {
 		peer := rng.Pick(g.src, g.contacts)
 		msg := g.render(owner, peer, start.Add(offsets[i]))
-		msgs = append(msgs, msg)
+		dst = append(dst, msg)
 	}
-	return msgs
+	return dst
 }
+
+// Split returns a generator sharing this one's configuration,
+// template weights and corporate-contact pool but drawing from src
+// with private scratch buffers — one per setup worker, so parallel
+// mailbox generation shares the contact identities without sharing
+// any mutable state. src may be nil when the caller Reseeds before
+// the first use.
+func (g *Generator) Split(src *rng.Source) *Generator {
+	return &Generator{cfg: g.cfg, src: src, weights: g.weights, contacts: g.contacts}
+}
+
+// Reseed redirects the generator's draws to src. The parallel setup
+// layout reseeds one worker-local generator with each account's
+// private substream, so every mailbox is a pure function of that
+// account's stream.
+func (g *Generator) Reseed(src *rng.Source) { g.src = src }
 
 // render instantiates one template for the given owner/peer pair.
 // Subject and body are streamed into a reused scratch buffer: the only

@@ -262,3 +262,72 @@ func TestPropertyTokenizeConcat(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMailboxAppendReusesScratch guards the setup hot path's
+// allocation discipline: a generator whose message buffer and offset
+// scratch are warm must allocate strictly less per mailbox than a
+// cold Mailbox call, and the reused path must stay byte-identical to
+// the allocating one.
+func TestMailboxAppendReusesScratch(t *testing.T) {
+	owner := NewPersonas(rng.New(8), 1, "honeymail.example")[0]
+	const n = 25
+
+	fresh := newGen(42).Mailbox(owner, n, winStart, winEnd)
+	warmGen := newGen(42)
+	var msgs []Message
+	msgs = warmGen.MailboxAppend(msgs[:0], owner, n, winStart, winEnd)
+	if len(fresh) != len(msgs) {
+		t.Fatalf("lengths differ: %d vs %d", len(fresh), len(msgs))
+	}
+	for i := range fresh {
+		if fresh[i] != msgs[i] {
+			t.Fatalf("append path diverged at message %d", i)
+		}
+	}
+
+	coldAllocs := testing.AllocsPerRun(20, func() {
+		newGen(42).Mailbox(owner, n, winStart, winEnd)
+	})
+	warmAllocs := testing.AllocsPerRun(20, func() {
+		warmGen.Reseed(rng.New(42))
+		msgs = warmGen.MailboxAppend(msgs[:0], owner, n, winStart, winEnd)
+	})
+	if warmAllocs >= coldAllocs {
+		t.Fatalf("warm MailboxAppend allocates %.0f objects, cold Mailbox %.0f — scratch reuse lost",
+			warmAllocs, coldAllocs)
+	}
+}
+
+// TestGeneratorSplitShares: Split hands workers private scratch over
+// shared immutable config; reseeding a split generator reproduces the
+// parent's draws exactly.
+func TestGeneratorSplitShares(t *testing.T) {
+	owner := NewPersonas(rng.New(8), 1, "honeymail.example")[0]
+	a := newGen(7).Mailbox(owner, 10, winStart, winEnd)
+	parent := newGen(7)
+	w := parent.Split(parent.src)
+	b := w.Mailbox(owner, 10, winStart, winEnd)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("split generator diverged at message %d", i)
+		}
+	}
+}
+
+// TestPersonaAtMatchesPool: PersonaAt draws one persona from a
+// dedicated stream with the same pools NewPersonasLocale defaults to,
+// and SuffixEmail derives a deterministic collision-free address.
+func TestPersonaAtMatchesPool(t *testing.T) {
+	p := PersonaAt(rng.New(5), Locale{})
+	if p.First == "" || p.Last == "" || p.Email == "" {
+		t.Fatalf("incomplete persona %+v", p)
+	}
+	q := PersonaAt(rng.New(5), Locale{})
+	if p != q {
+		t.Fatalf("same stream diverged: %+v vs %+v", p, q)
+	}
+	s := p.SuffixEmail(3)
+	if s == p.Email || !strings.Contains(s, "3@") {
+		t.Fatalf("suffix email %q not distinct/deterministic for %q", s, p.Email)
+	}
+}

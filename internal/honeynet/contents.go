@@ -1,0 +1,61 @@
+package honeynet
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/webmail"
+)
+
+// The seeded-contents view: the §4.6 keyword inference needs every
+// message the setup phase placed in the honey accounts (the dA
+// corpus), and the text of each message an attacker read (dR). The
+// engine used to keep a second copy of all of it — account → id →
+// subject+body, ~55KB per account at the default mailbox size — built
+// eagerly during Setup. The columnar webmail store already holds
+// those exact strings, so the view below reads them back lazily
+// instead: Dataset().Contents and SeededContents() now cost a slice
+// of addresses, not a duplicate of the corpus.
+
+// seededContents implements analysis.ContentsView over webmail's
+// message columns. Seeded ids are exactly 1..maxID per account
+// (Setup and the snapshot restore both place them there, and nothing
+// in the simulated run deletes or edits seeded mail); later messages
+// — quota notices, attacker drafts — deliberately report absent, so
+// the view exposes precisely the corpus the retired duplicate held.
+type seededContents struct {
+	svc      *webmail.Service
+	accounts []string // plan order
+	maxID    int64    // Config.MailboxSize
+}
+
+// Accounts implements analysis.ContentsView.
+func (v seededContents) Accounts() int { return len(v.accounts) }
+
+// Message implements analysis.ContentsView. The returned strings
+// alias the message store — no per-call copy.
+func (v seededContents) Message(account string, id int64) (subject, body string, ok bool) {
+	if id < 1 || id > v.maxID {
+		return "", "", false
+	}
+	return v.svc.MessageText(account, webmail.MessageID(id))
+}
+
+// Each implements analysis.ContentsView, scanning each account's
+// seeded rows under a single partition-lock acquisition.
+func (v seededContents) Each(fn func(account string, id int64, subject, body string)) {
+	for _, account := range v.accounts {
+		account := account
+		v.svc.EachMessageText(account, v.maxID, func(id int64, subject, body string) {
+			fn(account, id, subject, body)
+		})
+	}
+}
+
+// seededView builds the lazy contents view over the current
+// assignments (plan order).
+func (e *Experiment) seededView() analysis.ContentsView {
+	accounts := make([]string, len(e.assignments))
+	for i, a := range e.assignments {
+		accounts[i] = a.Account
+	}
+	return seededContents{svc: e.svc, accounts: accounts, maxID: int64(e.cfg.MailboxSize)}
+}

@@ -2,7 +2,9 @@ package honeynet
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/analysis"
@@ -95,6 +97,15 @@ type Config struct {
 	// Zero keeps the legacy layout, where setup draws from the root
 	// stream and the default path stays byte-identical.
 	SetupSeed int64
+	// SetupWorkers bounds the goroutines the parallel setup layout
+	// fans account construction out over; zero selects one per
+	// available CPU. It only matters with SetupSeed != 0 (the legacy
+	// layout is inherently serial) and never changes results: every
+	// account draws from its own substream and all scheduler-visible
+	// ordering is per-shard, so the fleet is byte-identical at any
+	// worker count — the knob trades goroutines for cold-start
+	// wall-clock only.
+	SetupWorkers int
 }
 
 // DefaultStart is the paper's leak date, 2015-06-25 (§3.2) — the
@@ -129,6 +140,9 @@ func (c Config) withDefaults() Config {
 	if c.ScaleFactor <= 0 {
 		c.ScaleFactor = 1
 	}
+	if c.SetupWorkers <= 0 {
+		c.SetupWorkers = runtime.GOMAXPROCS(0)
+	}
 	if c.Sites == nil {
 		c.Sites = outlets.DefaultSites()
 	}
@@ -153,7 +167,6 @@ type Experiment struct {
 	assignments []Assignment
 	blockOf     map[string]*block
 	leakTimes   map[string]time.Time
-	contents    map[string]map[int64]string
 	handles     []string // honey email local parts (TF-IDF drop list)
 
 	setupDone bool
@@ -217,7 +230,6 @@ func New(cfg Config) (*Experiment, error) {
 		set:       set,
 		blockOf:   make(map[string]*block),
 		leakTimes: make(map[string]time.Time),
-		contents:  make(map[string]map[int64]string),
 	}
 	for i, spec := range plan {
 		sh := shards[i%len(shards)]
@@ -325,13 +337,15 @@ func (c Config) setupSeed() int64 {
 }
 
 // Setup creates, seeds and instruments the honey accounts (§3.2
-// "Honey account setup"), and starts the monitoring pipeline. Setup
-// is serial and draws from experiment-global streams in plan order,
-// so its output is independent of the shard count. With
-// Config.SetupSeed set, every setup draw comes from that seed's own
-// stream, making the produced accounts a pure function of the
-// setup-relevant configuration (see SetupFingerprint) — the property
-// the snapshot warm-start forks rely on.
+// "Honey account setup"), and starts the monitoring pipeline. Its
+// output is independent of the shard count and — in the SetupSeed
+// layout — of the worker count. With Config.SetupSeed set, every
+// setup draw comes from a substream of that seed, making the produced
+// accounts a pure function of the setup-relevant configuration (see
+// SetupFingerprint) — the property the snapshot warm-start forks rely
+// on — and letting account construction fan out in parallel (see
+// setupParallel). SetupSeed zero keeps the legacy serial layout,
+// byte-identical to the seed deployment.
 func (e *Experiment) Setup() error {
 	if e.setupDone {
 		return fmt.Errorf("honeynet: Setup called twice")
@@ -341,14 +355,33 @@ func (e *Experiment) Setup() error {
 	if e.cfg.Locale != nil {
 		locale = *e.cfg.Locale
 	}
-	setupSrc := e.src // legacy layout: setup shares the root stream
+	var err error
 	if e.cfg.SetupSeed != 0 {
-		setupSrc = rng.New(e.cfg.SetupSeed)
+		err = e.setupParallel(n, locale)
+	} else {
+		err = e.setupLegacy(n, locale)
 	}
+	if err != nil {
+		return err
+	}
+	for _, sh := range e.shards {
+		sh.mon.Start(e.cfg.ScrapeInterval)
+	}
+	e.setupDone = true
+	return nil
+}
+
+// setupLegacy is the SetupSeed==0 layout: every draw interleaves
+// serially on the experiment root stream, byte-for-byte the seed
+// deployment's behaviour (the calibration bands and the plain-CLI
+// goldens pin it).
+func (e *Experiment) setupLegacy(n int, locale corpus.Locale) error {
+	setupSrc := e.src // legacy layout: setup shares the root stream
 	personas := corpus.NewPersonasLocale(setupSrc.ForkNamed("personas"), n, locale)
 	gen := corpus.NewGenerator(setupSrc.ForkNamed("corpus"), corpus.DefaultConfig())
 
 	seedStart := e.cfg.Start.Add(-180 * 24 * time.Hour)
+	var msgs []corpus.Message // mailbox buffer, reused across accounts
 	idx := 0
 	for _, b := range e.blocks {
 		b.start = idx
@@ -356,42 +389,157 @@ func (e *Experiment) Setup() error {
 			p := personas[idx]
 			idx++
 			password := fmt.Sprintf("hp-%08x", setupSrc.Int63()&0xffffffff)
-			if err := e.svc.CreateAccountIn(b.shard.id, p.Email, password, p.FullName()); err != nil {
-				return fmt.Errorf("honeynet: create %s: %w", p.Email, err)
-			}
-			// All outgoing honey mail diverts to the sinkhole domain.
-			if err := e.svc.SetSendFrom(p.Email, "capture@sinkhole.example"); err != nil {
-				return err
-			}
-			// Seed the Enron-style mailbox.
-			msgs := gen.Mailbox(p, e.cfg.MailboxSize, seedStart, e.cfg.Start)
-			e.contents[p.Email] = make(map[int64]string, len(msgs))
-			for _, m := range msgs {
-				folder := webmail.FolderInbox
-				if m.From == p.Email {
-					folder = webmail.FolderSent
-				}
-				id, err := e.svc.Seed(p.Email, folder, m.From, m.To, m.Subject, m.Body, m.Date)
-				if err != nil {
-					return err
-				}
-				e.contents[p.Email][int64(id)] = m.Subject + "\n" + m.Body
-			}
-			// Install the monitoring script on the owning shard and
-			// register the account for scraping.
-			if err := e.instrument(b, p.Email, password); err != nil {
+			msgs = gen.MailboxAppend(msgs[:0], p, e.cfg.MailboxSize, seedStart, e.cfg.Start)
+			if err := e.createAccount(b, p, password, msgs); err != nil {
 				return err
 			}
 			e.register(b, p.Email, password, p.Handle())
 		}
 		b.end = idx
 	}
-	for _, sh := range e.shards {
-		sh.mon.Start(e.cfg.ScrapeInterval)
-	}
 	e.setupPos = setupSrc.Pos()
-	e.setupDone = true
 	return nil
+}
+
+// setupParallel is the SetupSeed layout: the setup root makes no
+// draws itself — account i draws its persona, password and mailbox
+// from its own substream setupRoot.ForkShard(i, n), so the fleet is a
+// pure function of the setup-relevant config, independent of worker
+// count and completion order. Stream/persona/password generation fans
+// out over fixed account chunks; persona-email dedup and plan
+// bookkeeping run as cheap serial sweeps; account materialization
+// then fans out with one goroutine per shard — all gated by a
+// Config.SetupWorkers pool.
+// Each goroutine walks its own shard's blocks in plan order, so every
+// scheduler-visible sequence — webmail partition layout, script
+// installs, trigger-wheel registrations, monitor tracking — is
+// exactly the serial one, which is what keeps snapshots and reports
+// byte-identical at any worker count (determinism contract #6).
+func (e *Experiment) setupParallel(n int, locale corpus.Locale) error {
+	setupRoot := rng.New(e.cfg.SetupSeed)
+	// The recurring corporate-contact pool is shared by every mailbox;
+	// it draws once, here, from its own named substream of the root.
+	gen := corpus.NewGenerator(setupRoot.ForkNamed("corpus"), corpus.DefaultConfig())
+
+	// Pass 1 (parallel): per-account streams, personas and passwords.
+	// ForkShard only reads the root's seed, so the chunks share
+	// nothing but disjoint slice ranges; seeding 4.8KB of math/rand
+	// state per account is a real fraction of setup CPU, and it
+	// parallelizes here instead of serializing ahead of the fan-out.
+	streams := make([]*rng.Source, n)
+	personas := make([]corpus.Persona, n)
+	passwords := make([]string, n)
+	pool := simtime.NewWorkerPool(e.cfg.SetupWorkers)
+	var wg sync.WaitGroup
+	const chunk = 256
+	for lo := 0; lo < n; lo += chunk {
+		lo, hi := lo, lo+chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pool.Acquire()
+			defer pool.Release()
+			for i := lo; i < hi; i++ {
+				src := setupRoot.ForkShard(i, n)
+				personas[i] = corpus.PersonaAt(src, locale)
+				passwords[i] = fmt.Sprintf("hp-%08x", src.Int63()&0xffffffff)
+				streams[i] = src
+			}
+		}()
+	}
+	wg.Wait()
+	// Serial sweep: email collisions resolve in account-index order
+	// with the same numeric-suffix convention the legacy persona pool
+	// uses, so the final addresses never depend on worker scheduling.
+	used := make(map[string]bool, n)
+	for i := 0; i < n; i++ {
+		if used[personas[i].Email] {
+			personas[i].Email = personas[i].SuffixEmail(i)
+		}
+		used[personas[i].Email] = true
+	}
+
+	// Serial pass 2: plan bookkeeping (handles, assignments, blockOf
+	// are experiment-global), leaving the workers nothing but
+	// shard-local and per-account work.
+	idx := 0
+	for _, b := range e.blocks {
+		b.start = idx
+		for i := 0; i < b.spec.Count; i++ {
+			e.register(b, personas[idx].Email, passwords[idx], personas[idx].Handle())
+			idx++
+		}
+		b.end = idx
+	}
+
+	// Parallel pass: one goroutine per shard materializes that shard's
+	// accounts. Shards own disjoint webmail partitions, appscript
+	// runtimes and monitors, so workers only meet on the service's
+	// address index (briefly, inside CreateAccountIn).
+	seedStart := e.cfg.Start.Add(-180 * 24 * time.Hour)
+	errs := make([]error, len(e.shards))
+	for si := range e.shards {
+		si := si
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pool.Acquire()
+			defer pool.Release()
+			wgen := gen.Split(nil)
+			var msgs []corpus.Message // mailbox buffer, reused across accounts
+			for _, b := range e.blocks {
+				if b.shard.id != si {
+					continue
+				}
+				for i := b.start; i < b.end; i++ {
+					wgen.Reseed(streams[i])
+					msgs = wgen.MailboxAppend(msgs[:0], personas[i], e.cfg.MailboxSize, seedStart, e.cfg.Start)
+					if err := e.createAccount(b, personas[i], passwords[i], msgs); err != nil {
+						errs[si] = err
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	e.setupPos = 0 // the setup root never draws in this layout
+	return nil
+}
+
+// createAccount materializes one honey account in webmail — create,
+// divert the outbound envelope to the sinkhole, seed the mailbox,
+// instrument — the per-account sequence both setup layouts share.
+// Seeded message ids are exactly 1..len(msgs), the contract the lazy
+// contents view (SeededContents) reads the corpus back through.
+func (e *Experiment) createAccount(b *block, p corpus.Persona, password string, msgs []corpus.Message) error {
+	if err := e.svc.CreateAccountIn(b.shard.id, p.Email, password, p.FullName()); err != nil {
+		return fmt.Errorf("honeynet: create %s: %w", p.Email, err)
+	}
+	// All outgoing honey mail diverts to the sinkhole domain.
+	if err := e.svc.SetSendFrom(p.Email, "capture@sinkhole.example"); err != nil {
+		return err
+	}
+	for _, m := range msgs {
+		folder := webmail.FolderInbox
+		if m.From == p.Email {
+			folder = webmail.FolderSent
+		}
+		if _, err := e.svc.Seed(p.Email, folder, m.From, m.To, m.Subject, m.Body, m.Date); err != nil {
+			return err
+		}
+	}
+	// Install the monitoring script on the owning shard and register
+	// the account for scraping.
+	return e.instrument(b, p.Email, password)
 }
 
 // instrument attaches the monitoring pipeline to one account: the
@@ -600,7 +748,7 @@ func (e *Experiment) Dataset() *analysis.Dataset {
 	ds := &analysis.Dataset{
 		Blacklisted:       make(map[string]bool),
 		SuspendedAccounts: e.svc.SuspendedCount(),
-		Contents:          e.contents,
+		Contents:          e.seededView(),
 	}
 	for _, sh := range e.shards {
 		for _, rec := range sh.mon.Dataset() {

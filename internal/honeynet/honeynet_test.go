@@ -141,8 +141,8 @@ func TestEndToEndProducesDataset(t *testing.T) {
 			t.Fatalf("access before leak: %+v", a)
 		}
 	}
-	if len(ds.Contents) != 18 {
-		t.Fatalf("contents for %d accounts", len(ds.Contents))
+	if ds.Contents.Accounts() != 18 {
+		t.Fatalf("contents for %d accounts", ds.Contents.Accounts())
 	}
 	// The engine's ground truth and the monitor should roughly agree
 	// on volume (monitor misses post-hijack cookies, so <=).

@@ -132,8 +132,8 @@ func TestScaleFactorReplicatesPlan(t *testing.T) {
 	}
 	// Replicas draw independent randomness: the contents of replica
 	// mailboxes must not be copies of each other.
-	if len(ds.Contents) != wantAccounts {
-		t.Fatalf("contents for %d accounts, want %d", len(ds.Contents), wantAccounts)
+	if ds.Contents.Accounts() != wantAccounts {
+		t.Fatalf("contents for %d accounts, want %d", ds.Contents.Accounts(), wantAccounts)
 	}
 }
 

@@ -50,20 +50,46 @@ func (h *fpHash) mixString(s string) {
 	h.mix(uint64(len(s)))
 }
 
+// Setup layouts: how the setup phase derives its randomness. The
+// value is stored in snapshots and mixed into SetupFingerprint, so a
+// snapshot written under one derivation can never silently resume
+// under the other — the same SetupSeed produces different accounts in
+// the two layouts.
+const (
+	// SetupLayoutLegacy (SetupSeed == 0): setup draws interleave
+	// serially on the experiment root stream — the seed deployment's
+	// byte-pinned behaviour.
+	SetupLayoutLegacy = 1
+	// SetupLayoutParallel (SetupSeed != 0): every account draws from
+	// its own substream of the setup root, order-free, so setup fans
+	// out over workers (determinism contract #6).
+	SetupLayoutParallel = 2
+)
+
+// setupLayout returns the layout a config selects.
+func (c Config) setupLayout() int {
+	if c.SetupSeed != 0 {
+		return SetupLayoutParallel
+	}
+	return SetupLayoutLegacy
+}
+
 // SetupFingerprint hashes exactly the configuration fields the setup
-// phase's output depends on: the seed driving the setup streams, the
-// number of accounts (personas and passwords are drawn per account in
-// plan order, independent of the block structure), the leak date
-// (seeded message dates are relative to it), the mailbox size, and
-// the persona locale. Two configs with equal fingerprints produce
-// identical post-setup state, whatever their plans, outlet
-// catalogues, attacker calibrations, cadences or shard counts — which
-// is what lets the scenario matrix fork many variants from one
-// snapshot, and what Resume checks before accepting one.
+// phase's output depends on: the seed driving the setup streams and
+// the stream-derivation layout, the number of accounts (personas and
+// passwords are drawn per account in plan order, independent of the
+// block structure), the leak date (seeded message dates are relative
+// to it), the mailbox size, and the persona locale. Two configs with
+// equal fingerprints produce identical post-setup state, whatever
+// their plans, outlet catalogues, attacker calibrations, cadences or
+// shard counts — which is what lets the scenario matrix fork many
+// variants from one snapshot, and what Resume checks before
+// accepting one.
 func SetupFingerprint(cfg Config) uint64 {
 	cfg = cfg.withDefaults()
 	var h fpHash
 	h.mix(uint64(cfg.setupSeed()))
+	h.mix(uint64(cfg.setupLayout()))
 	h.mix(uint64(PlanAccounts(expandPlan(cfg.Plan, cfg.ScaleFactor))))
 	h.mix(uint64(cfg.Start.UnixNano()))
 	h.mix(uint64(cfg.MailboxSize))
@@ -189,6 +215,7 @@ func (e *Experiment) snapshotMeta() (*snapshot.State, error) {
 		Config: snapshot.Config{
 			Seed:             cfg.Seed,
 			SetupSeed:        cfg.SetupSeed,
+			SetupLayout:      cfg.setupLayout(),
 			Fingerprint:      SetupFingerprint(cfg),
 			StartNS:          cfg.Start.UnixNano(),
 			DurationNS:       int64(cfg.Duration),
@@ -377,11 +404,6 @@ func (e *Experiment) restoreSetup(st *snapshot.State) error {
 			if err := e.svc.RestoreAccountIn(b.shard.id, exp); err != nil {
 				return fmt.Errorf("honeynet: restore %s: %w", acct.Address, err)
 			}
-			contents := make(map[int64]string, len(acct.Messages))
-			for _, m := range acct.Messages {
-				contents[m.ID] = m.Subject + "\n" + m.Body
-			}
-			e.contents[acct.Address] = contents
 			if err := e.instrument(b, acct.Address, acct.Password); err != nil {
 				return fmt.Errorf("honeynet: re-instrument %s: %w", acct.Address, err)
 			}

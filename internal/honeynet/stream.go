@@ -135,6 +135,7 @@ func (e *Experiment) Aggregates() (*analysis.Aggregates, error) {
 }
 
 // SeededContents exposes the seeded mailbox texts (account → message
-// id → subject+body), the dA corpus of the §4.6 keyword inference.
-// Callers must treat the maps as read-only.
-func (e *Experiment) SeededContents() map[string]map[int64]string { return e.contents }
+// id → subject/body), the dA corpus of the §4.6 keyword inference, as
+// a lazy view over webmail's columnar message store — the engine
+// holds no second copy of the corpus.
+func (e *Experiment) SeededContents() analysis.ContentsView { return e.seededView() }

@@ -85,7 +85,7 @@ type Result struct {
 
 	Agg          *analysis.Aggregates
 	GroupCounts  map[int]int
-	Contents     map[string]map[int64]string
+	Contents     analysis.ContentsView
 	DropWords    []string
 	Blackmailers int
 	Inquiries    int

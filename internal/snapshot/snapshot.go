@@ -42,8 +42,9 @@ import (
 // Version is the current snapshot format version, embedded in the
 // magic. Decoders reject other versions rather than guessing.
 // Version 2 replaced the whole-payload v1 layout with the framed
-// streaming container.
-const Version = 2
+// streaming container; version 3 added Config.SetupLayout (the setup
+// stream-derivation layout, which also entered the fingerprint).
+const Version = 3
 
 // magic identifies a snapshot file: 7 fixed bytes plus the version.
 var magic = [8]byte{'h', 'n', 'y', 's', 'n', 'a', 'p', Version}
@@ -67,6 +68,7 @@ type State struct {
 type Config struct {
 	Seed        int64
 	SetupSeed   int64  // 0: setup drew from the root stream (legacy layout)
+	SetupLayout int    // honeynet.SetupLayout* constant the setup ran under
 	Fingerprint uint64 // hash of the setup-relevant fields; Resume must match
 
 	StartNS          int64
@@ -268,6 +270,7 @@ func encodeAccount(w *writer, a *Account) {
 func (c *Config) encode(w *writer) {
 	w.i64(c.Seed)
 	w.i64(c.SetupSeed)
+	w.i64(int64(c.SetupLayout))
 	w.u64(c.Fingerprint)
 	w.i64(c.StartNS)
 	w.i64(c.DurationNS)
@@ -507,6 +510,9 @@ func (c *Config) decode(r *reader) error {
 		return err
 	}
 	if c.SetupSeed, err = r.i64("setup seed"); err != nil {
+		return err
+	}
+	if c.SetupLayout, err = r.intField("setup layout"); err != nil {
 		return err
 	}
 	if c.Fingerprint, err = r.u64("fingerprint"); err != nil {

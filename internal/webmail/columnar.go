@@ -115,33 +115,84 @@ func (t *accessTable) materialize(i int32) Access {
 // msgText is the out-of-line payload of one message: the string
 // fields search and listing need, kept behind one pointer so the
 // per-message metadata columns stay compact for snapshot/count scans
-// that never touch text. haystack bakes lazily on first search.
+// that never touch text.
 type msgText struct {
 	from, to, subject, body string
 	labels                  []string
-	haystack                string
 }
 
-func (t *msgText) bake() {
-	t.haystack = strings.ToLower(t.subject + "\n" + t.body)
-}
-
-// matchTerms reports whether the message matches every pre-lowered
-// term. bake always produces at least the "\n" joiner, so an empty
-// haystack is exactly "never baked".
+// matchTerms reports whether the message matches every pre-lowered,
+// whitespace-free term (Search feeds it strings.Fields output).
+//
+// The scan folds case on the fly instead of caching a lowered copy of
+// subject+body: the old lazily-baked haystacks were a second ~190MB
+// of retained heap at scale=100, kept alive only to make repeat
+// searches marginally cheaper. ASCII text — the entire embedded
+// corpus — matches allocation-free; anything else falls back to a
+// transient strings.ToLower of the exact haystack the cache used to
+// hold, so match results are byte-identical either way. Terms contain
+// no whitespace, so a match can never span the subject/body joiner
+// and the two fields can be scanned independently.
 func (t *msgText) matchTerms(terms []string) bool {
 	if len(terms) == 0 {
 		return false
 	}
-	if t.haystack == "" {
-		t.bake()
-	}
+	ascii := isASCII(t.subject) && isASCII(t.body)
+	hay := "" // transient Unicode fallback, built at most once
 	for _, term := range terms {
-		if !strings.Contains(t.haystack, term) {
+		if ascii && isASCII(term) {
+			if !asciiContainsFold(t.subject, term) && !asciiContainsFold(t.body, term) {
+				return false
+			}
+			continue
+		}
+		if hay == "" {
+			hay = strings.ToLower(t.subject + "\n" + t.body)
+		}
+		if !strings.Contains(hay, term) {
 			return false
 		}
 	}
 	return true
+}
+
+func isASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
+func lowerASCIIByte(c byte) byte {
+	if 'A' <= c && c <= 'Z' {
+		c += 'a' - 'A'
+	}
+	return c
+}
+
+// asciiContainsFold is strings.Contains(strings.ToLower(s), term) for
+// ASCII s and already-lowercase ASCII term, without the allocation.
+func asciiContainsFold(s, term string) bool {
+	n := len(term)
+	if n == 0 {
+		return true
+	}
+	c0 := term[0]
+	for i := 0; i+n <= len(s); i++ {
+		if lowerASCIIByte(s[i]) != c0 {
+			continue
+		}
+		j := 1
+		for j < n && lowerASCIIByte(s[i+j]) == term[j] {
+			j++
+		}
+		if j == n {
+			return true
+		}
+	}
+	return false
 }
 
 // msgStore is the columnar mailbox: row i holds MessageID(i+1).

@@ -228,8 +228,8 @@ func TestActivityPageOrderWithTies(t *testing.T) {
 	}
 }
 
-// Search still matches case-insensitively through the baked haystack,
-// including after edits rewrite a draft's content.
+// Search matches case-insensitively through the on-the-fly fold
+// scan, including after edits rewrite a draft's content.
 func TestSearchHaystackStaysFresh(t *testing.T) {
 	f := newDirtyFixture(t)
 	const acct = "d@honeymail.example"
@@ -260,9 +260,9 @@ func TestSearchHaystackStaysFresh(t *testing.T) {
 		t.Fatal(err)
 	}
 	if hits, _ := se.Search("bitcoin"); len(hits) != 0 {
-		t.Fatal("stale haystack: old draft body still matches")
+		t.Fatal("stale text: old draft body still matches")
 	}
 	if hits, _ := se.Search("monero"); len(hits) != 1 {
-		t.Fatal("edited draft body not re-baked")
+		t.Fatal("edited draft body not searchable")
 	}
 }

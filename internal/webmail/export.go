@@ -75,8 +75,8 @@ func (s *Service) ExportAccount(address string) (AccountExport, error) {
 
 // RestoreAccountIn recreates an exported account on an explicit
 // partition, exactly as a CreateAccountIn + Seed sequence would have
-// left it: search haystacks are re-baked, version counters start at
-// zero, and no journal entries exist. The export is treated as
+// left it: version counters start at zero and no journal entries
+// exist. The export is treated as
 // read-only, so one decoded snapshot can seed many experiments
 // concurrently (the warm-started scenario matrix does).
 func (s *Service) RestoreAccountIn(part int, exp AccountExport) error {
@@ -98,10 +98,6 @@ func (s *Service) RestoreAccountIn(part int, exp AccountExport) error {
 		if id <= 0 || id >= a.nextID {
 			return fmt.Errorf("webmail: restore %s: message id %d outside [1,%d)", exp.Address, me.ID, exp.NextID)
 		}
-		// The search haystack bakes lazily on first search (see
-		// msgText.matchTerms): restoring a fleet of mailboxes from a
-		// snapshot must not pay a ToLower over every byte of seeded
-		// text that may never be searched.
 		t := &msgText{from: me.From, to: me.To, subject: me.Subject, body: me.Body}
 		if len(me.Labels) > 0 {
 			t.labels = append([]string(nil), me.Labels...)

@@ -15,8 +15,8 @@ func exportTestService(t *testing.T) *Service {
 }
 
 // TestExportRestoreRoundTrip: a seeded account exports, restores onto
-// another service, and exports identically — flags, folders,
-// haystacks (via Search) included.
+// another service, and exports identically — flags, folders, and
+// searchable text (via Search) included.
 func TestExportRestoreRoundTrip(t *testing.T) {
 	svc := exportTestService(t)
 	if err := svc.CreateAccountIn(1, "kim@x.example", "pw", "Kim Q"); err != nil {
@@ -52,7 +52,7 @@ func TestExportRestoreRoundTrip(t *testing.T) {
 	if !reflect.DeepEqual(exp, exp2) {
 		t.Fatalf("restore lost state:\nin:  %+v\nout: %+v", exp, exp2)
 	}
-	// The rebuilt haystack serves search case-insensitively.
+	// The restored text serves search case-insensitively.
 	sess, err := svc2.Login("kim@x.example", "pw", "c1", netsim.Endpoint{})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,71 @@
+package webmail
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMatchTermsFoldEquivalence pins the fold scan to the reference
+// semantics it replaced: strings.Contains over a ToLower-baked
+// subject+"\n"+body haystack, for every term of a Fields-split
+// lowered query. Cases cover ASCII folding, term-at-boundary,
+// multi-term AND, and the non-ASCII fallback path.
+func TestMatchTermsFoldEquivalence(t *testing.T) {
+	cases := []struct {
+		subject, body, query string
+	}{
+		{"Wire TRANSFER", "Payment Details inside", "wire transfer"},
+		{"Wire TRANSFER", "Payment Details inside", "WIRE details"},
+		{"Wire TRANSFER", "Payment Details inside", "transfer payment"},
+		{"Wire TRANSFER", "Payment Details inside", "missing"},
+		{"", "", "anything"},
+		{"edge", "", "edge"},
+		{"", "tail", "tail"},
+		{"abcd", "efgh", "cd ef"},                       // neither field alone holds "cdef"
+		{"abAB", "zzzz", "abab"},                        // fold inside one field
+		{"Réunion notes", "café plans", "réunion café"}, // non-ASCII fallback
+		{"Réunion notes", "café plans", "notes plans"},  // ASCII terms, non-ASCII text
+		{"plain text", "çedille", "çedille"},
+	}
+	for _, c := range cases {
+		terms := strings.Fields(strings.ToLower(c.query))
+		mt := &msgText{subject: c.subject, body: c.body}
+		got := mt.matchTerms(terms)
+		hay := strings.ToLower(c.subject + "\n" + c.body)
+		want := true
+		for _, term := range terms {
+			if !strings.Contains(hay, term) {
+				want = false
+			}
+		}
+		if got != want {
+			t.Errorf("matchTerms(%q/%q, %q) = %v, reference = %v", c.subject, c.body, c.query, got, want)
+		}
+	}
+	if (&msgText{subject: "x", body: "y"}).matchTerms(nil) {
+		t.Error("empty term list must not match")
+	}
+}
+
+// TestMatchTermsASCIIAllocFree guards the fleet-memory contract: the
+// ASCII fast path — the entire embedded corpus — retains nothing and
+// allocates nothing per match, unlike the old baked-haystack cache
+// that held a second lowered copy of every searched message.
+func TestMatchTermsASCIIAllocFree(t *testing.T) {
+	mt := &msgText{
+		subject: "Quarterly BUDGET review",
+		body:    "The numbers for Q3 are attached; wire the TRANSFER by Friday.",
+	}
+	terms := []string{"budget", "transfer", "friday"}
+	if !mt.matchTerms(terms) {
+		t.Fatal("expected match")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if !mt.matchTerms(terms) {
+			t.Fatal("expected match")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ASCII matchTerms allocated %.1f per run, want 0", allocs)
+	}
+}

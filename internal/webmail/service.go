@@ -308,12 +308,52 @@ func (s *Service) Seed(address string, folder Folder, from, to, subject, body st
 	defer p.mu.Unlock()
 	id := a.nextID
 	a.nextID++
-	// The search haystack bakes lazily on first search (matchTerms):
-	// seeding a fleet of 90-message mailboxes must not pay a ToLower
-	// over text that may never be searched.
 	a.msgs.append(folder, &msgText{from: from, to: to, subject: subject, body: body},
 		date.UnixNano(), folder == FolderSent) // own sent mail is "read"
 	return id, nil
+}
+
+// MessageText returns the stored subject and body columns of one
+// message without copying: the returned strings alias the store, so
+// reading N messages costs N lock round-trips and zero allocations.
+// ok is false for unknown accounts, unknown ids and vacated rows. The
+// analysis layer's lazy contents view reads seeded mail through this
+// instead of keeping a per-experiment duplicate of every message.
+func (s *Service) MessageText(address string, id MessageID) (subject, body string, ok bool) {
+	p, a, err := s.acquire(address)
+	if err != nil {
+		return "", "", false
+	}
+	defer p.mu.Unlock()
+	i := a.msgs.index(id)
+	if i < 0 {
+		return "", "", false
+	}
+	t := a.msgs.text[i]
+	return t.subject, t.body, true
+}
+
+// EachMessageText visits messages 1..maxID of one mailbox in ID order
+// under a single partition-lock acquisition, passing the stored
+// subject and body columns without copying — the bulk form of
+// MessageText for corpus-wide scans (TF-IDF's "all seeded mail"
+// document). Vacated rows are skipped. fn runs under the partition
+// lock and must not call back into the Service.
+func (s *Service) EachMessageText(address string, maxID int64, fn func(id int64, subject, body string)) {
+	p, a, err := s.acquire(address)
+	if err != nil {
+		return
+	}
+	defer p.mu.Unlock()
+	n := len(a.msgs.text)
+	if maxID < int64(n) {
+		n = int(maxID)
+	}
+	for i := 0; i < n; i++ {
+		if t := a.msgs.text[i]; t != nil {
+			fn(int64(i+1), t.subject, t.body)
+		}
+	}
 }
 
 // NewCookie issues a browser cookie identifier. Attacker sessions

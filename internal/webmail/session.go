@@ -209,7 +209,6 @@ func (se *Session) UpdateDraft(id MessageID, to, subject, body string) error {
 	}
 	t := a.msgs.text[i]
 	t.to, t.subject, t.body = to, subject, body
-	t.haystack = "" // re-bake lazily on next search
 	a.msgs.dateNS[i] = se.part.now().UnixNano()
 	se.svc.journalLocked(se.part, a, Event{
 		Time: se.part.now(), Kind: EventDraftUpdate,

@@ -40,8 +40,9 @@ type MessageID int64
 // Message is a stored email as the API presents it. Internally the
 // service keeps messages as parallel columns (see columnar.go); this
 // struct is materialized on demand, so callers can never mutate
-// stored state through it. The lowercase search haystack lives with
-// the columnar text payload and bakes lazily on first search.
+// stored state through it. Search folds case on the fly over the
+// columnar text payload (msgText.matchTerms); no lowered copy of the
+// text is ever retained.
 type Message struct {
 	ID      MessageID
 	Folder  Folder

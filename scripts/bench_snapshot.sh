@@ -10,7 +10,9 @@
 # companion scripts/check_bench_regression.sh enforces exactly that
 # split. PR 6 adds the fleet-scale lane (BenchmarkShardedRunXL at
 # scale=100; BENCH_XXL=1 adds scale=1000) and the per-benchmark memory
-# columns.
+# columns. PR 8 adds the cold-setup lane (BenchmarkSetupXL, the
+# parallel-setup scaling contract) and the setup_seconds column the
+# sharded benchmarks now report.
 #
 # Usage: scripts/bench_snapshot.sh [output.json]
 # Env:   BENCH_COUNT=6  run each benchmark 6 times (benchstat-friendly;
@@ -21,7 +23,7 @@
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_PR6.json}"
+out="${1:-BENCH_PR8.json}"
 count="${BENCH_COUNT:-1}"
 # The PR number in the trajectory record comes from the file name
 # (BENCH_PR7.json -> 7); unrecognised names record pr 0.
@@ -33,7 +35,7 @@ raw="${BENCH_RAW:-$(mktemp)}"
 
 # Plain POSIX sh has no pipefail, so a `| tee` pipeline would swallow
 # a failing go test; write to the file and replay it instead.
-if ! go test -bench 'BenchmarkShardedRun|BenchmarkStreamingRun|BenchmarkMatrixRun$|BenchmarkMatrixWarmStart|BenchmarkSnapshotRoundTrip' \
+if ! go test -bench 'BenchmarkShardedRun|BenchmarkSetupXL|BenchmarkStreamingRun|BenchmarkMatrixRun$|BenchmarkMatrixWarmStart|BenchmarkSnapshotRoundTrip' \
     -benchtime 1x -count "$count" -benchmem -run '^$' . > "$raw" 2>&1; then
     cat "$raw" >&2
     echo "bench_snapshot: go test -bench failed; no snapshot written" >&2
@@ -43,7 +45,7 @@ cat "$raw" >&2
 
 awk -v out="$out" -v pr="$pr" -v cores="$cores" -v count="$count" '
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
-/^Benchmark(ShardedRun|StreamingRun|MatrixRun|MatrixWarmStart|SnapshotRoundTrip)/ {
+/^Benchmark(ShardedRun|SetupXL|StreamingRun|MatrixRun|MatrixWarmStart|SnapshotRoundTrip)/ {
     name = $1
     # The trailing -N suffix go test appends is GOMAXPROCS.
     if (match(name, /-[0-9]+$/)) {
@@ -52,12 +54,13 @@ awk -v out="$out" -v pr="$pr" -v cores="$cores" -v count="$count" '
     }
     # Collect "value unit" pairs wherever they sit on the line, so the
     # parse does not depend on column order.
-    ns = ""; allocs = ""; bytes = ""; heap = ""
+    ns = ""; allocs = ""; bytes = ""; heap = ""; setup = ""
     for (i = 3; i <= NF; i++) {
         if ($i == "ns/op")           ns = $(i - 1)
         if ($i == "allocs/op")       allocs = $(i - 1)
         if ($i == "B/op")            bytes = $(i - 1)
         if ($i == "live-heap-bytes") heap = $(i - 1)
+        if ($i == "setup-seconds")   setup = $(i - 1)
     }
     if (ns == "") next
     # With -count > 1 keep the minimum per benchmark (benchstat reads
@@ -66,6 +69,7 @@ awk -v out="$out" -v pr="$pr" -v cores="$cores" -v count="$count" '
     if (allocs != "" && (!(name in al) || allocs + 0 < al[name] + 0)) al[name] = allocs
     if (bytes != "" && (!(name in by) || bytes + 0 < by[name] + 0))   by[name] = bytes
     if (heap != "" && (!(name in hp) || heap + 0 < hp[name] + 0))     hp[name] = heap
+    if (setup != "" && (!(name in su) || setup + 0 < su[name] + 0))   su[name] = setup
     if (!(name in seen)) { seen[name] = 1; order[++n] = name }
 }
 END {
@@ -79,9 +83,12 @@ END {
         if (match(name, /shards=[0-9]+/)) shards = substr(name, RSTART + 7, RLENGTH - 7)
         if (match(name, /scale=[0-9]+/))  scale  = substr(name, RSTART + 6, RLENGTH - 6)
         row = sprintf("    {\"name\": \"%s\", \"shards\": %s, \"scale\": %s, \"seconds\": %.3f", name, shards, scale, secs[name] / 1e9)
-        if (name in al) row = row sprintf(", \"allocs_op\": %d", al[name])
-        if (name in by) row = row sprintf(", \"bytes_op\": %d", by[name])
-        if (name in hp) row = row sprintf(", \"live_heap_bytes\": %d", hp[name])
+        # %.0f, not %d: awk %d clamps at 2^31-1 and the XL lane pushes
+        # bytes/op past 3GB (BENCH_PR6.json recorded 2147483647 there).
+        if (name in al) row = row sprintf(", \"allocs_op\": %.0f", al[name])
+        if (name in by) row = row sprintf(", \"bytes_op\": %.0f", by[name])
+        if (name in hp) row = row sprintf(", \"live_heap_bytes\": %.0f", hp[name])
+        if (name in su) row = row sprintf(", \"setup_seconds\": %.3f", su[name])
         row = row "}"
         printf "%s%s\n", row, (i < n ? "," : "") > out
     }

@@ -3,10 +3,13 @@
 #
 # Compares a freshly measured bench snapshot (scripts/bench_snapshot.sh
 # output) against the LATEST committed BENCH_PR*.json on the headline
-# end-to-end benchmark — BenchmarkShardedRun at shards=4/scale=10, the
-# 1000-account fleet run whose 32.7s -> ~3s trajectory PRs 1-6 earned.
-# This is what keeps BENCH_PR*.json an enforced contract instead of a
-# log: a change that quietly gives those wins back fails the build.
+# end-to-end benchmarks — BenchmarkShardedRun at shards=4/scale=10
+# (the 1000-account fleet run whose 32.7s -> ~3s trajectory PRs 1-6
+# earned) and, since PR 8, BenchmarkShardedRunXL at shards=4/scale=100
+# (the 10,000-account run whose allocs/op and retained live heap the
+# fleet-memory burndown drove down). This is what keeps
+# BENCH_PR*.json an enforced contract instead of a log: a change that
+# quietly gives those wins back fails the build.
 #
 # Two gates, split by what transfers across hardware:
 #
@@ -15,6 +18,11 @@
 #     (default 25%) extra allocations fails, whatever machine either
 #     number came from. (Baselines from before the column existed skip
 #     this gate and say so.)
+#
+#   live_heap_bytes — the retained fleet footprint after GC, also
+#     hardware-independent, enforced strictly on the XL benchmark
+#     whenever the baseline recorded it: the scale=100 heap budget
+#     (<=100KB/account) is a gated target, not an aspiration.
 #
 #   seconds — only meaningful on comparable hardware. The gate compares
 #     wall-clock strictly when the baseline's CPU string matches and
@@ -30,6 +38,7 @@ cd "$(dirname "$0")/.."
 new="${1:?usage: check_bench_regression.sh NEW.json [max_regression_pct]}"
 max="${2:-25}"
 key="BenchmarkShardedRun/shards=4/scale=10"
+xlkey="BenchmarkShardedRunXL/shards=4/scale=100"
 
 # Latest committed trajectory point = highest PR number, excluding the
 # file under test (when it is being regenerated in place).
@@ -51,9 +60,9 @@ if [ -z "$baseline" ]; then
 fi
 
 field_of() {
-    # Extract numeric field $2 from $1's record for $key (one record
+    # Extract numeric field $2 from $1's record for key $3 (one record
     # per line); prints nothing when the record or field is absent.
-    awk -v key="$key" -v field="$2" '
+    awk -v key="${3:-$key}" -v field="$2" '
         index($0, "\"" key "\"") {
             if (match($0, "\"" field "\": *[0-9.]+")) {
                 s = substr($0, RSTART, RLENGTH)
@@ -118,6 +127,33 @@ else
         }
     }' || fail=1
 fi
+
+# ---- XL fleet lane: allocs/op + live heap, both strict -------------
+# Both metrics are hardware-independent; a baseline that predates the
+# XL lane (or a run without it) skips with a message instead of
+# passing silently.
+for metric in allocs_op live_heap_bytes; do
+    old_x=$(field_of "$baseline" "$metric" "$xlkey")
+    new_x=$(field_of "$new" "$metric" "$xlkey")
+    if [ -z "$new_x" ]; then
+        echo "check_bench_regression: $xlkey has no $metric in $new (run bench_snapshot.sh with the XL lane)" >&2
+        fail=1
+        continue
+    fi
+    if [ -z "$old_x" ]; then
+        echo "$xlkey: baseline $baseline predates the $metric column; gate skipped" >&2
+        continue
+    fi
+    awk -v old="$old_x" -v cur="$new_x" -v max="$max" -v key="$xlkey" -v base="$baseline" -v metric="$metric" '
+    BEGIN {
+        pct = (cur - old) / old * 100
+        printf "%s: baseline %s = %d %s, current = %d (%+.1f%%, gate +%s%%)\n", key, base, old, metric, cur, pct, max
+        if (pct > max) {
+            printf "REGRESSION: %d %s is %.1f%% above the committed baseline (max +%s%%)\n", cur, metric, pct, max
+            exit 1
+        }
+    }' || fail=1
+done
 
 [ "$fail" -eq 0 ] || exit 1
 echo "bench regression gate passed" >&2
