@@ -75,25 +75,25 @@ import (
 
 func main() {
 	var (
-		seed       = flag.Int64("seed", 42, "deterministic experiment seed")
-		days       = flag.Int("days", 236, "observation window in days (paper: 236)")
-		experiment = flag.String("experiment", "all", "which artifact to print (overview, table1, fig1..fig5b, cvm, table2, sysconfig, cases, sophistication, all)")
-		resamples  = flag.Int("resamples", 2000, "Cramér–von Mises permutation resamples")
-		shards     = flag.Int("shards", 1, "parallel shard schedulers (0 = one per CPU; output is shard-count invariant)")
-		scale      = flag.Int("scale", 1, "replicate the deployment plan K× (simulates 100·K accounts for Table 1)")
-		stream     = flag.Bool("stream", true, "classify accesses on the fly per shard and report from merged aggregates (false = legacy full-dataset merge)")
-		dirty      = flag.Bool("dirty-tracking", true, "version-gate the activity-page scraper so quiet accounts cost ~zero per tick (false = log into every account every tick; identical reports)")
-		scen       = flag.String("scenario", "", "run one scenario (preset name or TOML/JSON file) and print its full report")
-		matrix     = flag.String("matrix", "", "comma-separated scenarios to run concurrently and compare (first is the baseline column)")
-		outDir     = flag.String("out", "", "directory for per-scenario JSON aggregate artifacts")
+		seed         = flag.Int64("seed", 42, "deterministic experiment seed")
+		days         = flag.Int("days", 236, "observation window in days (paper: 236)")
+		experiment   = flag.String("experiment", "all", "which artifact to print (overview, table1, fig1..fig5b, cvm, table2, sysconfig, cases, sophistication, all)")
+		resamples    = flag.Int("resamples", 2000, "Cramér–von Mises permutation resamples")
+		shards       = flag.Int("shards", 1, "parallel shard schedulers (0 = one per CPU; output is shard-count invariant)")
+		scale        = flag.Int("scale", 1, "replicate the deployment plan K× (simulates 100·K accounts for Table 1)")
+		stream       = flag.Bool("stream", true, "classify accesses on the fly per shard and report from merged aggregates (false = legacy full-dataset merge)")
+		dirty        = flag.Bool("dirty-tracking", true, "version-gate the activity-page scraper so quiet accounts cost ~zero per tick (false = log into every account every tick; identical reports)")
+		scen         = flag.String("scenario", "", "run one scenario (preset name or TOML/JSON file) and print its full report")
+		matrix       = flag.String("matrix", "", "comma-separated scenarios to run concurrently and compare (first is the baseline column)")
+		outDir       = flag.String("out", "", "directory for per-scenario JSON aggregate artifacts")
 		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "matrix-wide worker budget shared by all scenarios (default: one per CPU)")
 		setupWorkers = flag.Int("setup-workers", runtime.GOMAXPROCS(0), "goroutines for the parallel account-setup layout selected by -setup-seed; never changes results (default: one per CPU)")
 		setupSeed    = flag.Int64("setup-seed", 0, "give the setup phase its own seed stream so -resume can fork the same accounts under different -seed values (0 = setup shares the experiment seed)")
-		checkpoint = flag.String("checkpoint", "", "write a post-setup snapshot to this file, then continue the run")
-		resumeFile = flag.String("resume", "", "resume from a post-setup snapshot file instead of re-simulating setup")
-		warmStart  = flag.Bool("warm-start", true, "fork matrix scenarios that share a setup phase from one snapshot (false = simulate every setup; identical output)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file when the run completes")
+		checkpoint   = flag.String("checkpoint", "", "write a post-setup snapshot to this file, then continue the run")
+		resumeFile   = flag.String("resume", "", "resume from a post-setup snapshot file instead of re-simulating setup")
+		warmStart    = flag.Bool("warm-start", true, "fork matrix scenarios that share a setup phase from one snapshot (false = simulate every setup; identical output)")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memprofile   = flag.String("memprofile", "", "write a heap profile to this file when the run completes")
 	)
 	flag.Parse()
 

@@ -7,6 +7,7 @@
 //
 //	loadgen -addr host:port -creds leak.txt [-qps N] [-conns N]
 //	        [-visits N] [-seed N] [-mailbox N] [-timeout D]
+//	        [-tolerate-unavailable]
 //
 // The schedule is fully precomputed from the seed: op mix derived
 // from the paper's attacker populations (searches use the gold-digger
@@ -15,6 +16,11 @@
 // plan time — the same seed always sends the same request stream.
 // The process exits non-zero if any protocol errors or timeouts
 // occurred, which is what lets CI gate on "zero faults under load".
+// With -tolerate-unavailable, down-shard refusals from the router
+// (shard down / shard unavailable / shard connection lost) are
+// tallied separately and do not fail the run — the mode the chaos
+// smoke uses to replay through a shard restart while still gating on
+// zero router protocol errors.
 package main
 
 import (
@@ -32,16 +38,17 @@ import (
 )
 
 type config struct {
-	addr      string
-	credsPath string
-	qps       float64
-	conns     int
-	visits    int
-	seed      int64
-	mailbox   int
-	listLimit int
-	timeout   time.Duration
-	label     string
+	addr                string
+	credsPath           string
+	qps                 float64
+	conns               int
+	visits              int
+	seed                int64
+	mailbox             int
+	listLimit           int
+	timeout             time.Duration
+	label               string
+	tolerateUnavailable bool
 }
 
 func parseFlags(args []string) (config, error) {
@@ -57,6 +64,8 @@ func parseFlags(args []string) (config, error) {
 	fs.IntVar(&cfg.listLimit, "list-limit", 25, "newest-N bound on list responses (0 = whole folder)")
 	fs.DurationVar(&cfg.timeout, "timeout", 5*time.Second, "per-request deadline")
 	fs.StringVar(&cfg.label, "label", "", "run label in the report (default derived)")
+	fs.BoolVar(&cfg.tolerateUnavailable, "tolerate-unavailable", false,
+		"treat down-shard refusals (shard down/unavailable/connection lost) as expected: tally them separately and keep the zero-fault exit code")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -97,6 +106,7 @@ func run(ctx context.Context, cfg config, out io.Writer) (report.ServingStats, e
 	fmt.Fprintf(out, "replaying %d requests over %d connections against %s\n", plan.Ops(), cfg.conns, cfg.addr)
 	stats, err := livefleet.Run(ctx, livefleet.RunConfig{
 		Addr: cfg.addr, QPS: cfg.qps, Timeout: cfg.timeout, Label: label,
+		TolerateUnavailable: cfg.tolerateUnavailable,
 	}, plan)
 	if err != nil {
 		return report.ServingStats{}, err
@@ -106,6 +116,11 @@ func run(ctx context.Context, cfg config, out io.Writer) (report.ServingStats, e
 	// gate parses it rather than the table.
 	fmt.Fprintf(out, "achieved %.0f req/s (%d requests in %s)\n",
 		stats.Throughput(), stats.Requests, stats.Elapsed.Round(time.Millisecond))
+	if cfg.tolerateUnavailable {
+		// Fixed format like the achieved line: the chaos smoke parses
+		// it to confirm the replay actually crossed the outage.
+		fmt.Fprintf(out, "tolerated %d down-shard refusals\n", stats.Unavailable)
+	}
 	return stats, nil
 }
 

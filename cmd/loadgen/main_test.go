@@ -131,6 +131,16 @@ func TestParseFlags(t *testing.T) {
 	if cfg.addr != "127.0.0.1:8080" || cfg.credsPath != "x.txt" || cfg.qps != 5000 || cfg.conns != 32 {
 		t.Fatalf("parsed %+v", cfg)
 	}
+	if cfg.tolerateUnavailable {
+		t.Fatal("tolerate-unavailable defaults on; strict must be the default")
+	}
+	tcfg, err := parseFlags([]string{"-addr", "x", "-creds", "y", "-tolerate-unavailable"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tcfg.tolerateUnavailable {
+		t.Fatalf("parsed %+v", tcfg)
+	}
 	if _, err := parseFlags([]string{"-addr", "x"}); err == nil {
 		t.Fatal("missing -creds accepted")
 	}

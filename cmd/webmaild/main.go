@@ -9,6 +9,7 @@
 //	webmaild [-addr host:port] [-accounts N] [-mailbox N] [-seed N]
 //	webmaild -snapshot state.snap [-partition I -partitions N] [-abuse=false] [-creds out.txt]
 //	webmaild -router -shards host:port,host:port [-addr host:port]
+//	         [-health-interval D] [-health-timeout D]
 //
 // With -snapshot, only the accounts that webmail.PartitionIndex places
 // on -partition of -partitions are restored — the same placement the
@@ -19,8 +20,13 @@
 // With -router, the process serves the partition-aware front instead
 // of a shard: it pools connections to the listed shard addresses
 // (whose order must match their -partition indices), routes each login
-// by account hash, and applies per-connection backpressure. The same
-// SIGTERM drain semantics apply.
+// by account hash, and applies per-connection backpressure. A
+// per-shard health prober (-health-interval/-health-timeout) marks
+// dead shards down so logins to them fail fast, evicts their pools,
+// and flips them back up when they return; backend dials to a down
+// shard back off exponentially. The same SIGTERM drain semantics
+// apply, and a draining router prints its fleet-health section
+// (per-shard dials, retries, evictions, down/up transitions).
 package main
 
 import (
@@ -37,6 +43,7 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/livefleet"
+	"repro/internal/report"
 	"repro/internal/rng"
 	"repro/internal/simtime"
 	"repro/internal/webmail"
@@ -54,8 +61,10 @@ type config struct {
 	abuse        bool
 	credsOut     string
 
-	routerMode bool
-	shards     string
+	routerMode     bool
+	shards         string
+	healthInterval time.Duration
+	healthTimeout  time.Duration
 
 	drainTimeout time.Duration
 }
@@ -74,6 +83,8 @@ func parseFlags(args []string) (config, error) {
 	fs.StringVar(&cfg.credsOut, "creds", "", "write restored account credentials to this file")
 	fs.BoolVar(&cfg.routerMode, "router", false, "serve as the fleet router instead of a shard")
 	fs.StringVar(&cfg.shards, "shards", "", "comma-separated shard addresses, in partition order (with -router)")
+	fs.DurationVar(&cfg.healthInterval, "health-interval", time.Second, "shard health-probe cadence (with -router); negative disables the prober")
+	fs.DurationVar(&cfg.healthTimeout, "health-timeout", time.Second, "per-probe deadline, dial included (with -router)")
 	fs.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
@@ -93,16 +104,20 @@ type server interface {
 
 // instance is a started webmaild, exposed for the integration tests.
 type instance struct {
-	Addr string
-	Svc  *webmail.Service // nil in router mode
-	srv  server
-	cfg  config
+	Addr   string
+	Svc    *webmail.Service  // nil in router mode
+	Router *livefleet.Router // nil outside router mode
+	srv    server
+	cfg    config
+	out    io.Writer
 }
 
 // startRouter boots the partition-aware front over the given shards.
 func startRouter(cfg config, out io.Writer) (*instance, error) {
 	router, err := livefleet.NewRouter(livefleet.RouterConfig{
-		Shards: strings.Split(cfg.shards, ","),
+		Shards:         strings.Split(cfg.shards, ","),
+		HealthInterval: cfg.healthInterval,
+		HealthTimeout:  cfg.healthTimeout,
 	})
 	if err != nil {
 		return nil, err
@@ -112,7 +127,7 @@ func startRouter(cfg config, out io.Writer) (*instance, error) {
 		return nil, err
 	}
 	fmt.Fprintf(out, "webmaild router listening on %s, fronting %d shards\n", bound, router.Shards())
-	return &instance{Addr: bound, srv: router, cfg: cfg}, nil
+	return &instance{Addr: bound, Router: router, srv: router, cfg: cfg, out: out}, nil
 }
 
 // start builds the service (snapshot or demo), begins listening, and
@@ -182,11 +197,18 @@ func start(cfg config, out io.Writer) (*instance, error) {
 }
 
 // Shutdown drains the server gracefully, forcing a close when the
-// context (or the configured drain timeout) expires first.
+// context (or the configured drain timeout) expires first. A router
+// renders its fleet-health section on the way out — the counters are
+// final once the drain completes, and the chaos smoke test reads the
+// down/up transitions from this output.
 func (in *instance) Shutdown(ctx context.Context) error {
 	ctx, cancel := context.WithTimeout(ctx, in.cfg.drainTimeout)
 	defer cancel()
-	return in.srv.Drain(ctx)
+	err := in.srv.Drain(ctx)
+	if in.Router != nil && in.out != nil {
+		fmt.Fprintln(in.out, report.FleetHealth(in.Router.Stats().Shards))
+	}
+	return err
 }
 
 // Close stops the instance immediately (tests' cleanup path).

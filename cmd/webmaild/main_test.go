@@ -237,11 +237,14 @@ func TestRouterMode(t *testing.T) {
 		t.Cleanup(func() { inst.Close() })
 		shardAddrs[part] = inst.Addr
 	}
+	var routerOut strings.Builder
 	router, err := start(config{
 		addr: "127.0.0.1:0", routerMode: true,
-		shards:       strings.Join(shardAddrs, ","),
-		drainTimeout: 10 * time.Second,
-	}, io.Discard)
+		shards:         strings.Join(shardAddrs, ","),
+		healthInterval: 50 * time.Millisecond,
+		healthTimeout:  time.Second,
+		drainTimeout:   10 * time.Second,
+	}, &routerOut)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,6 +261,12 @@ func TestRouterMode(t *testing.T) {
 	}
 	if err := router.Shutdown(context.Background()); err != nil {
 		t.Fatalf("router drain: %v", err)
+	}
+	// A draining router reports per-shard health; both shards stayed up
+	// the whole run.
+	if out := routerOut.String(); !strings.Contains(out, "Fleet health (router)") ||
+		strings.Contains(out, " down ") || !strings.Contains(out, " up ") {
+		t.Fatalf("drain output missing healthy fleet-health section:\n%s", out)
 	}
 }
 
@@ -281,5 +290,15 @@ func TestParseFlags(t *testing.T) {
 	}
 	if !rcfg.routerMode || rcfg.shards != "a:1,b:2" {
 		t.Fatalf("parsed %+v", rcfg)
+	}
+	if rcfg.healthInterval != time.Second || rcfg.healthTimeout != time.Second {
+		t.Fatalf("health defaults: %+v", rcfg)
+	}
+	hcfg, err := parseFlags([]string{"-router", "-shards", "a:1", "-health-interval", "250ms", "-health-timeout", "2s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hcfg.healthInterval != 250*time.Millisecond || hcfg.healthTimeout != 2*time.Second {
+		t.Fatalf("parsed health flags: %+v", hcfg)
 	}
 }

@@ -196,6 +196,14 @@ type RunConfig struct {
 	// Timeout is the per-request deadline (default 5s); an expiry
 	// counts in Timeouts and drops the worker's connection.
 	Timeout time.Duration
+	// TolerateUnavailable treats down-shard refusals (shard down,
+	// shard unavailable, shard connection lost) as expected chaos
+	// traffic: they tally in Unavailable instead of Rejected, the
+	// worker reconnects and resyncs to its next visit, and they never
+	// fail the run. Off, they count as ordinary rejections and the
+	// dropped connection surfaces as a protocol error on the next op —
+	// the strict mode CI's steady-state smoke gates on.
+	TolerateUnavailable bool
 	// Label names the run in the report section.
 	Label string
 }
@@ -218,11 +226,25 @@ func dialLG(addr string, timeout time.Duration) (*lgConn, error) {
 
 // workerTally is one worker's private counters, merged after the run.
 type workerTally struct {
-	hist     stats.LatencyHist
-	requests int64
-	rejected int64
-	errors   int64
-	timeouts int64
+	hist        stats.LatencyHist
+	requests    int64
+	rejected    int64
+	errors      int64
+	timeouts    int64
+	unavailable int64
+}
+
+// unavailableError reports whether a rejection is the router's
+// fault-surface for a down shard rather than an application refusal
+// (bad password, unknown message). The three strings are the router's
+// client-visible vocabulary: fast-fail on a known-down shard, a
+// failed dial/round-trip, and a bound session dying mid-flight.
+func unavailableError(msg string) bool {
+	switch msg {
+	case "webmail: shard down", "webmail: shard unavailable", "webmail: shard connection lost":
+		return true
+	}
+	return false
 }
 
 // Run replays the plan against addr and returns the merged serving
@@ -264,6 +286,7 @@ func Run(ctx context.Context, cfg RunConfig, plan *Plan) (report.ServingStats, e
 		out.Rejected += t.rejected
 		out.Errors += t.errors
 		out.Timeouts += t.timeouts
+		out.Unavailable += t.unavailable
 	}
 	if cfg.Label == "" {
 		out.Label = fmt.Sprintf("%d workers", workers)
@@ -328,6 +351,18 @@ func runWorker(ctx context.Context, cfg RunConfig, w int, ops []Op, interval tim
 		}
 		t.hist.Record(time.Since(began))
 		if !resp.OK {
+			if cfg.TolerateUnavailable && unavailableError(resp.Error) {
+				// Expected down-shard refusal: the router either
+				// fast-failed this login or tore down the bound
+				// session, and in the latter case it has already
+				// closed our connection. Reconnect for the next visit
+				// either way.
+				t.unavailable++
+				conn.c.Close()
+				conn = nil
+				resync = true
+				continue
+			}
 			t.rejected++
 			if op.Kind == OpLogin {
 				resync = true // visit unusable without a session

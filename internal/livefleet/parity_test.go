@@ -262,3 +262,131 @@ func TestParityEngineVsRoutedFleet(t *testing.T) {
 		}
 	}
 }
+
+// TestParityFailoverChaos: kill one shard of a routed fleet mid-session.
+// The failover contract: sessions bound to the dead shard get exactly
+// one "shard connection lost" error and then their connection closes;
+// sessions on the surviving shard keep byte-identical parity with the
+// in-process engine; logins to the dead shard are refused while it is
+// down; and once the shard restarts from the same snapshot the prober
+// flips it back up and fresh logins succeed.
+func TestParityFailoverChaos(t *testing.T) {
+	path := buildTestSnapshot(t, 8)
+	const parts = 2
+	ref, creds, err := BootService(path, 0, 1, svcConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc0, _, err := BootService(path, 0, parts, svcConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv0 := webmail.NewServer(svc0)
+	addr0, err := srv0.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv0.Close() })
+	sh1 := newRestartableShard(t, path, 1, parts)
+
+	router, err := NewRouter(RouterConfig{
+		Shards:         []string{addr0, sh1.addr},
+		HealthInterval: 25 * time.Millisecond,
+		HealthTimeout:  500 * time.Millisecond,
+		DialBackoff:    25 * time.Millisecond,
+		DialBackoffMax: 250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raddr, err := router.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { router.Close() })
+
+	var dead, surviving []Credential
+	for _, c := range creds {
+		if webmail.PartitionIndex(c.Address, parts) == 1 {
+			dead = append(dead, c)
+		} else {
+			surviving = append(surviving, c)
+		}
+	}
+	if len(dead) == 0 || len(surviving) == 0 {
+		t.Fatalf("fixture does not cover both shards: %d dead, %d surviving", len(dead), len(surviving))
+	}
+
+	// Pin a live session per doomed-shard account.
+	pinned := make([]*webmail.Client, len(dead))
+	for i, c := range dead {
+		cl := routerDial(t, raddr)
+		if resp, err := cl.Do(loginReq(c, "chaos-pin")); err != nil || !resp.OK {
+			t.Fatalf("pin login %s: %v %+v", c.Address, err, resp)
+		}
+		pinned[i] = cl
+	}
+
+	sh1.stop()
+
+	// Each pinned session observes exactly one in-band error, then the
+	// router closes its connection — no half-dead sessions linger.
+	for i, cl := range pinned {
+		resp, err := cl.Do(webmail.Request{Op: "list", Folder: "inbox"})
+		if err != nil {
+			t.Fatalf("pinned session %d: transport error before the in-band error: %v", i, err)
+		}
+		if resp.OK || resp.Error != "webmail: shard connection lost" {
+			t.Fatalf("pinned session %d: got %+v, want shard connection lost", i, resp)
+		}
+		if _, err := cl.Do(webmail.Request{Op: "list", Folder: "inbox"}); err == nil {
+			t.Fatalf("pinned session %d: connection still open after connection-lost error", i)
+		}
+	}
+
+	// The outage must not perturb the surviving shard: full parity
+	// scripts, byte-identical observables.
+	for _, c := range surviving {
+		steps := parityScript(c.Address, c.Password)
+		driveInProcess(t, ref, steps)
+		driveWire(t, raddr, steps)
+		assertParity(t, "surviving shard during outage", ref, svc0, c.Address)
+	}
+
+	// Logins aimed at the dead shard are refused with a down-shard
+	// rejection while it is out.
+	waitForShardState(t, router, 1, false)
+	cl := routerDial(t, raddr)
+	resp, err := cl.Do(loginReq(dead[0], "chaos-down"))
+	if err != nil || resp.OK {
+		t.Fatalf("login to dead shard: %v %+v", err, resp)
+	}
+	if resp.Error != "webmail: shard down" && resp.Error != "webmail: shard unavailable" {
+		t.Fatalf("dead-shard login error = %q", resp.Error)
+	}
+
+	// Restart on the same address from the same snapshot; the prober
+	// flips the shard up and logins flow again.
+	sh1.restart()
+	waitForShardState(t, router, 1, true)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		cl := routerDial(t, raddr)
+		resp, err = cl.Do(loginReq(dead[0], "chaos-back"))
+		if err == nil && resp.OK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("login never recovered after shard restart: %v %+v", err, resp)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	st := router.Stats().Shards
+	if st[1].DownTransitions != 1 || st[1].UpTransitions != 1 {
+		t.Fatalf("dead shard transitions: %+v, want exactly one down and one up", st[1])
+	}
+	if st[0].DownTransitions != 0 {
+		t.Fatalf("surviving shard flapped: %+v", st[0])
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -32,6 +33,20 @@ type RouterConfig struct {
 	WriteTimeout time.Duration
 	// DialTimeout bounds backend dials (default 5s).
 	DialTimeout time.Duration
+	// HealthInterval is the per-shard health prober cadence: each tick
+	// dials the shard and completes one ping round trip under
+	// HealthTimeout, flipping the shard up or down accordingly. 0
+	// selects the 1s default; a negative interval disables the prober,
+	// leaving dial outcomes alone to drive the up/down state.
+	HealthInterval time.Duration
+	// HealthTimeout bounds one health probe, dial included (default 1s).
+	HealthTimeout time.Duration
+	// DialBackoff and DialBackoffMax shape the reconnect trickle for a
+	// down shard: dials are admitted one per window, with the window
+	// doubling (jittered) from DialBackoff up to DialBackoffMax until
+	// a dial succeeds. Defaults 100ms and 5s.
+	DialBackoff    time.Duration
+	DialBackoffMax time.Duration
 }
 
 func (c *RouterConfig) fill() error {
@@ -49,6 +64,18 @@ func (c *RouterConfig) fill() error {
 	}
 	if c.DialTimeout <= 0 {
 		c.DialTimeout = 5 * time.Second
+	}
+	if c.HealthInterval == 0 {
+		c.HealthInterval = time.Second
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = time.Second
+	}
+	if c.DialBackoff <= 0 {
+		c.DialBackoff = 100 * time.Millisecond
+	}
+	if c.DialBackoffMax <= 0 {
+		c.DialBackoffMax = 5 * time.Second
 	}
 	return nil
 }
@@ -73,9 +100,14 @@ func (b *backendConn) Close() { b.c.Close() }
 // binding cannot move mid-session). Everything else is forwarded
 // verbatim, which is what keeps the parity contract byte-level.
 type Router struct {
-	cfg   RouterConfig
-	pools []chan *backendConn
-	sem   chan struct{}
+	cfg    RouterConfig
+	pools  []chan *backendConn
+	sem    chan struct{}
+	health []shardHealth
+
+	// stopProbes ends the per-shard health probers; closed exactly
+	// once by whichever of Close/Drain runs first.
+	stopProbes chan struct{}
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -126,10 +158,12 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		return nil, err
 	}
 	r := &Router{
-		cfg:   cfg,
-		pools: make([]chan *backendConn, len(cfg.Shards)),
-		sem:   make(chan struct{}, cfg.MaxInFlight),
-		conns: make(map[*routerConn]struct{}),
+		cfg:        cfg,
+		pools:      make([]chan *backendConn, len(cfg.Shards)),
+		sem:        make(chan struct{}, cfg.MaxInFlight),
+		health:     make([]shardHealth, len(cfg.Shards)),
+		stopProbes: make(chan struct{}),
+		conns:      make(map[*routerConn]struct{}),
 	}
 	for i := range r.pools {
 		r.pools[i] = make(chan *backendConn, cfg.PoolSize)
@@ -141,15 +175,21 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 // address. Each shard is probed with one pooled dial first, so a
 // misconfigured fleet fails here rather than on the first login.
 func (r *Router) Listen(addr string) (string, error) {
+	// Both error returns below must drain the pools: probe connections
+	// established for earlier shards are already pooled, and a caller
+	// that gives up on the error would otherwise leak them (and pin
+	// the shards' connection slots) for the process lifetime.
 	for shard := range r.cfg.Shards {
 		bc, err := r.dial(shard)
 		if err != nil {
+			r.drainPools()
 			return "", fmt.Errorf("livefleet: shard %d unreachable: %w", shard, err)
 		}
 		r.putBack(shard, bc)
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
+		r.drainPools()
 		return "", fmt.Errorf("livefleet: listen: %w", err)
 	}
 	r.mu.Lock()
@@ -157,6 +197,15 @@ func (r *Router) Listen(addr string) (string, error) {
 	r.mu.Unlock()
 	r.wg.Add(1)
 	go r.acceptLoop(ln)
+	if r.cfg.HealthInterval > 0 {
+		for shard := range r.cfg.Shards {
+			r.wg.Add(1)
+			go func(shard int) {
+				defer r.wg.Done()
+				r.probeLoop(shard)
+			}(shard)
+		}
+	}
 	return ln.Addr().String(), nil
 }
 
@@ -187,28 +236,49 @@ func (r *Router) acceptLoop(ln net.Listener) {
 	}
 }
 
+// dial opens one backend connection, subject to the shard's health
+// state: a down shard admits one trial dial per backoff window and
+// fails everything else fast with errShardDown — no dial timeout is
+// burned on a shard the router already believes dead. Dial outcomes
+// feed the same state back: failure marks the shard down (evicting
+// its pool) and widens the window, success marks it up.
 func (r *Router) dial(shard int) (*backendConn, error) {
+	st := &r.health[shard]
+	if !st.allowDial(time.Now()) {
+		return nil, errShardDown
+	}
+	st.dials.Inc()
 	c, err := net.DialTimeout("tcp", r.cfg.Shards[shard], r.cfg.DialTimeout)
 	if err != nil {
+		r.noteDialFailure(shard)
 		return nil, err
 	}
+	r.noteDialSuccess(shard)
 	return &backendConn{c: c, br: bufio.NewReader(c), shard: shard}, nil
 }
 
 // checkout returns a pooled connection to the shard or dials a fresh
-// one.
-func (r *Router) checkout(shard int) (*backendConn, error) {
+// one; fromPool tells the login path whether a round-trip failure may
+// be a stale pooled connection worth one retry on a fresh dial.
+func (r *Router) checkout(shard int) (bc *backendConn, fromPool bool, err error) {
 	select {
 	case bc := <-r.pools[shard]:
-		return bc, nil
+		return bc, true, nil
 	default:
-		return r.dial(shard)
 	}
+	bc, err = r.dial(shard)
+	return bc, false, err
 }
 
 // putBack returns an unbound (never-logged-in) connection to its pool
-// or closes it when the pool is full.
+// or closes it when the pool is full — or when the shard has since
+// been marked down, so an eviction is never undone by an in-flight
+// return.
 func (r *Router) putBack(shard int, bc *backendConn) {
+	if r.health[shard].down.Load() {
+		bc.Close()
+		return
+	}
 	select {
 	case r.pools[shard] <- bc:
 	default:
@@ -280,6 +350,9 @@ func (r *Router) proxy(rc *routerConn, backend **backendConn, line []byte) bool 
 	}
 	if peek.Op == "login" {
 		shard := webmail.PartitionIndex(peek.Account, len(r.cfg.Shards))
+		st := &r.health[shard]
+		st.inflight.Enter()
+		defer st.inflight.Exit()
 		// A login aimed at the currently bound shard is forwarded on
 		// the bound connection: the shard rebinds (or, on failure,
 		// keeps) its session exactly like a single webmaild. A login
@@ -297,11 +370,26 @@ func (r *Router) proxy(rc *routerConn, backend **backendConn, line []byte) bool 
 			}
 			return r.relay(rc, raw)
 		}
-		bc, err := r.checkout(shard)
+		bc, fromPool, err := r.checkout(shard)
 		if err != nil {
-			return r.localError(rc, "webmail: shard unavailable")
+			return r.localError(rc, dialErrorMessage(err))
 		}
 		ok, raw, err := roundTrip(bc, line)
+		if err != nil && fromPool {
+			// The pooled connection may predate a shard drain or
+			// restart; one fresh dial distinguishes a stale pool from a
+			// dead shard. Only this unbound login frame is ever
+			// replayed — bound-session traffic is not known safe to
+			// resend, so its failures stay fatal to the session.
+			bc.Close()
+			st.retries.Inc()
+			var fresh *backendConn
+			if fresh, err = r.dial(shard); err != nil {
+				return r.localError(rc, dialErrorMessage(err))
+			}
+			bc = fresh
+			ok, raw, err = roundTrip(bc, line)
+		}
 		if err != nil {
 			bc.Close()
 			return r.localError(rc, "webmail: shard unavailable")
@@ -318,15 +406,31 @@ func (r *Router) proxy(rc *routerConn, backend **backendConn, line []byte) bool 
 		}
 		return r.relay(rc, raw)
 	}
+	st := &r.health[(*backend).shard]
+	st.inflight.Enter()
+	defer st.inflight.Exit()
 	raw, err := forward(*backend, line)
 	if err != nil {
-		// The bound session is gone; the client must reconnect.
+		// The bound session is gone; only this session dies — the
+		// client must reconnect, while sessions pinned to other
+		// backends (and to other connections on the same shard) are
+		// untouched.
 		(*backend).Close()
 		*backend = nil
 		r.localError(rc, "webmail: shard connection lost")
 		return false
 	}
 	return r.relay(rc, raw)
+}
+
+// dialErrorMessage maps a checkout/dial failure to its client-visible
+// error: a known-down shard fails distinctly so replay tooling can
+// separate expected down-shard refusals from router faults.
+func dialErrorMessage(err error) string {
+	if errors.Is(err, errShardDown) {
+		return errShardDown.Error()
+	}
+	return "webmail: shard unavailable"
 }
 
 // forward sends one frame and reads the raw single-line response
@@ -359,12 +463,17 @@ func roundTrip(bc *backendConn, line []byte) (ok bool, raw []byte, err error) {
 // Close stops the router and every connection immediately.
 func (r *Router) Close() error {
 	r.mu.Lock()
+	wasClosed := r.closed
 	r.closed = true
 	ln := r.listener
+	r.listener = nil
 	for c := range r.conns {
 		c.Close()
 	}
 	r.mu.Unlock()
+	if !wasClosed {
+		close(r.stopProbes)
+	}
 	var err error
 	if ln != nil {
 		err = ln.Close()
@@ -392,6 +501,7 @@ func (r *Router) Drain(ctx context.Context) error {
 		conns = append(conns, c)
 	}
 	r.mu.Unlock()
+	close(r.stopProbes)
 	if ln != nil {
 		ln.Close()
 	}
@@ -419,17 +529,8 @@ func (r *Router) Drain(ctx context.Context) error {
 }
 
 func (r *Router) drainPools() {
-	for _, pool := range r.pools {
-		for {
-			select {
-			case bc := <-pool:
-				bc.Close()
-			default:
-			}
-			if len(pool) == 0 {
-				break
-			}
-		}
+	for shard := range r.pools {
+		r.evictPool(shard)
 	}
 }
 

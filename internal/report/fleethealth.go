@@ -1,0 +1,63 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ShardHealth is one shard's router-side health snapshot: the liveness
+// verdict of the health prober plus the fault-path counters the router
+// keeps per shard. It is what livefleet.Router.Stats hands to
+// FleetHealth, mirroring how the load generator hands ServingStats to
+// ServingLatency.
+type ShardHealth struct {
+	// Addr is the shard's backend address.
+	Addr string
+	// Up is the prober's current verdict; a down shard fails logins
+	// fast instead of burning a dial timeout.
+	Up bool
+	// Dials counts backend dials (pool fills, checkout misses, retry
+	// dials, and health probes). Retries counts login round trips
+	// replayed on a fresh dial after a stale pooled connection failed.
+	Dials   int64
+	Retries int64
+	// Evictions counts pooled connections closed because their shard
+	// was marked down.
+	Evictions int64
+	// DownTransitions and UpTransitions count the shard's up→down and
+	// down→up edges — a restart shows up as exactly one of each.
+	DownTransitions int64
+	UpTransitions   int64
+	// InFlightHighwater is the peak number of requests the router had
+	// proxying to this shard at once.
+	InFlightHighwater int64
+}
+
+// FleetHealth renders the fleet-health section: one row per shard with
+// its liveness state and fault counters. The chaos smoke test greps
+// this output, so the header strings and the up/down state words are
+// part of the CI contract.
+func FleetHealth(shards []ShardHealth) string {
+	var b strings.Builder
+	b.WriteString("Fleet health (router)\n")
+	tbl := NewTable("shard", "addr", "state", "dials", "retries", "evictions", "down-transitions", "up-transitions", "inflight-hw")
+	for i, s := range shards {
+		state := "up"
+		if !s.Up {
+			state = "down"
+		}
+		tbl.AddRow(
+			fmt.Sprintf("%d", i),
+			s.Addr,
+			state,
+			fmt.Sprintf("%d", s.Dials),
+			fmt.Sprintf("%d", s.Retries),
+			fmt.Sprintf("%d", s.Evictions),
+			fmt.Sprintf("%d", s.DownTransitions),
+			fmt.Sprintf("%d", s.UpTransitions),
+			fmt.Sprintf("%d", s.InFlightHighwater),
+		)
+	}
+	b.WriteString(tbl.String())
+	return b.String()
+}

@@ -1,0 +1,46 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFleetHealthSection(t *testing.T) {
+	out := FleetHealth([]ShardHealth{
+		{Addr: "127.0.0.1:8025", Up: true, Dials: 12, Retries: 1, InFlightHighwater: 9},
+		{Addr: "127.0.0.1:8026", Up: false, Dials: 30, Evictions: 4, DownTransitions: 1, UpTransitions: 1},
+	})
+	for _, want := range []string{
+		"Fleet health (router)", "down-transitions", "inflight-hw",
+		"127.0.0.1:8025", "127.0.0.1:8026",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("section missing %q:\n%s", want, out)
+		}
+	}
+	// Exactly one row per state word: shard 0 up, shard 1 down. The
+	// chaos smoke greps these, so they are load-bearing strings.
+	lines := strings.Split(out, "\n")
+	var upRows, downRows int
+	for _, ln := range lines {
+		fields := strings.Fields(ln)
+		if len(fields) < 3 || fields[0] == "shard" {
+			continue
+		}
+		switch fields[2] {
+		case "up":
+			upRows++
+		case "down":
+			downRows++
+		}
+	}
+	if upRows != 1 || downRows != 1 {
+		t.Fatalf("state rows: %d up, %d down, want 1 and 1:\n%s", upRows, downRows, out)
+	}
+}
+
+func TestFleetHealthEmpty(t *testing.T) {
+	if out := FleetHealth(nil); !strings.Contains(out, "Fleet health") {
+		t.Fatalf("empty fleet renders no header:\n%s", out)
+	}
+}

@@ -21,10 +21,15 @@ type ServingStats struct {
 	// (resp.OK == false: bad password, not logged in), which are
 	// expected traffic, not faults. Errors counts protocol/transport
 	// faults and Timeouts counts deadline expiries — both are faults.
-	Requests int64
-	Rejected int64
-	Errors   int64
-	Timeouts int64
+	// Unavailable counts down-shard refusals (shard down / shard
+	// unavailable / shard connection lost) tallied separately when the
+	// generator runs in tolerate-unavailable mode: expected during a
+	// chaos replay, faults otherwise.
+	Requests    int64
+	Rejected    int64
+	Errors      int64
+	Timeouts    int64
+	Unavailable int64
 	// Elapsed is the wall-clock span of the run, for throughput.
 	Elapsed time.Duration
 }
@@ -45,7 +50,7 @@ func (s ServingStats) Throughput() float64 {
 func ServingLatency(runs []ServingStats) string {
 	var b strings.Builder
 	b.WriteString("Serving latency (live fleet)\n")
-	tbl := NewTable("run", "req", "req/s", "p50", "p95", "p99", "max", "rejected", "errors", "timeouts")
+	tbl := NewTable("run", "req", "req/s", "p50", "p95", "p99", "max", "rejected", "unavail", "errors", "timeouts")
 	for _, r := range runs {
 		h := r.Hist
 		if h == nil {
@@ -60,6 +65,7 @@ func ServingLatency(runs []ServingStats) string {
 			fmtLatency(h.Quantile(0.99)),
 			fmtLatency(h.Max()),
 			fmt.Sprintf("%d", r.Rejected),
+			fmt.Sprintf("%d", r.Unavailable),
 			fmt.Sprintf("%d", r.Errors),
 			fmt.Sprintf("%d", r.Timeouts),
 		)

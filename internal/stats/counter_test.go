@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCounterConcurrent: increments from many goroutines are all
+// counted (meant for the -race matrix).
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	const workers, each = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Inc()
+			}
+			c.Add(2)
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*(each+2) {
+		t.Fatalf("counter = %d, want %d", got, workers*(each+2))
+	}
+}
+
+// TestHighwaterTracksMax: the mark records the peak level and never
+// falls with it.
+func TestHighwaterTracksMax(t *testing.T) {
+	var h Highwater
+	h.Enter()
+	h.Enter()
+	h.Enter()
+	if h.Level() != 3 || h.High() != 3 {
+		t.Fatalf("level %d high %d, want 3 3", h.Level(), h.High())
+	}
+	h.Exit()
+	h.Exit()
+	if h.Level() != 1 {
+		t.Fatalf("level %d, want 1", h.Level())
+	}
+	if h.High() != 3 {
+		t.Fatalf("high fell to %d", h.High())
+	}
+	h.Enter()
+	if h.High() != 3 {
+		t.Fatalf("high %d after re-enter below peak, want 3", h.High())
+	}
+}
+
+// TestHighwaterConcurrent: the mark never exceeds the worker count and
+// the level balances out (meant for the -race matrix).
+func TestHighwaterConcurrent(t *testing.T) {
+	var h Highwater
+	const workers = 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Enter()
+				h.Exit()
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Level() != 0 {
+		t.Fatalf("level %d after balanced enter/exit", h.Level())
+	}
+	if high := h.High(); high < 1 || high > workers {
+		t.Fatalf("high %d outside [1,%d]", high, workers)
+	}
+}

@@ -1,0 +1,155 @@
+#!/bin/bash
+# live_fleet_chaos.sh — the live-fleet smoke's chaos variant: kill one
+# shard mid-replay and restart it, with the load generator running in
+# -tolerate-unavailable mode the whole time.
+#
+#   honeynet -checkpoint  ->  fleet.snap
+#   webmaild -snapshot -partition {0,1}     (two shard processes)
+#   webmaild -router -health-interval 200ms (prober + failover on)
+#   loadgen  -tolerate-unavailable &        (paced replay in background)
+#   ... SIGTERM shard 1 mid-replay, wait, restart it on the same port
+#
+# Gates: loadgen exits 0 — zero router protocol errors and zero
+# timeouts across the outage — and reports at least one tolerated
+# down-shard refusal (proof the replay actually crossed the outage);
+# all daemons drain cleanly on SIGTERM; and the router's drain-time
+# fleet-health section shows the killed shard back up with exactly one
+# down-transition and one up-transition.
+#
+# Tunables (env): CHAOS_QPS (offered rate, default 3000), CHAOS_CONNS
+# (default 16), CHAOS_VISITS (per-conn attacker visits, default 240),
+# CHAOS_KILL_AFTER / CHAOS_DOWN_FOR (seconds, defaults 2 and 3).
+set -eu
+
+QPS=${CHAOS_QPS:-3000}
+CONNS=${CHAOS_CONNS:-16}
+VISITS=${CHAOS_VISITS:-240}
+KILL_AFTER=${CHAOS_KILL_AFTER:-2}
+DOWN_FOR=${CHAOS_DOWN_FOR:-3}
+
+PORT_SHARD0=18135
+PORT_SHARD1=18136
+PORT_ROUTER=18134
+
+tmp=$(mktemp -d)
+pids=""
+cleanup() {
+    for p in $pids; do kill "$p" 2>/dev/null || true; done
+    wait 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+wait_port() { # host:port — poll until something listens (10s cap)
+    for _ in $(seq 1 100); do
+        if (exec 3<>"/dev/tcp/${1%:*}/${1#*:}") 2>/dev/null; then
+            exec 3>&- 3<&-
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "FAIL: nothing listening on $1" >&2
+    return 1
+}
+
+echo "== build"
+go build -o "$tmp/webmaild" ./cmd/webmaild
+go build -o "$tmp/loadgen" ./cmd/loadgen
+go build -o "$tmp/honeynet" ./cmd/honeynet
+
+echo "== checkpoint (post-setup fleet state)"
+"$tmp/honeynet" -days 1 -checkpoint "$tmp/fleet.snap" -experiment overview >/dev/null 2>&1
+test -s "$tmp/fleet.snap"
+
+echo "== boot 2 shards from the checkpoint"
+"$tmp/webmaild" -addr "127.0.0.1:$PORT_SHARD0" -snapshot "$tmp/fleet.snap" \
+    -partition 0 -partitions 2 -abuse=false -creds "$tmp/creds0.txt" >"$tmp/shard0.log" &
+pids="$pids $!"; shard0=$!
+"$tmp/webmaild" -addr "127.0.0.1:$PORT_SHARD1" -snapshot "$tmp/fleet.snap" \
+    -partition 1 -partitions 2 -abuse=false -creds "$tmp/creds1.txt" >"$tmp/shard1.log" &
+pids="$pids $!"; shard1=$!
+wait_port "127.0.0.1:$PORT_SHARD0"
+wait_port "127.0.0.1:$PORT_SHARD1"
+cat "$tmp/creds0.txt" "$tmp/creds1.txt" > "$tmp/creds.txt"
+echo "   $(wc -l < "$tmp/creds.txt") accounts across 2 shards"
+
+echo "== front them with the router (fast prober for the chaos window)"
+"$tmp/webmaild" -router -addr "127.0.0.1:$PORT_ROUTER" \
+    -shards "127.0.0.1:$PORT_SHARD0,127.0.0.1:$PORT_SHARD1" \
+    -health-interval 200ms -health-timeout 500ms >"$tmp/router.log" &
+pids="$pids $!"; router=$!
+wait_port "127.0.0.1:$PORT_ROUTER"
+
+echo "== loadgen (background, tolerate-unavailable): $CONNS conns, $VISITS visits/conn, offered $QPS qps"
+# The open-loop pacing makes the replay duration deterministic, so the
+# kill below lands mid-replay on any machine speed.
+"$tmp/loadgen" -addr "127.0.0.1:$PORT_ROUTER" -creds "$tmp/creds.txt" \
+    -qps "$QPS" -conns "$CONNS" -visits "$VISITS" -seed 1 -mailbox 5 -list-limit 25 \
+    -tolerate-unavailable -label "chaos: shard restart mid-replay" >"$tmp/loadgen.txt" &
+loadgen=$!
+
+echo "== chaos: SIGTERM shard 1 after ${KILL_AFTER}s, restart after ${DOWN_FOR}s more"
+sleep "$KILL_AFTER"
+kill -TERM "$shard1"
+if ! wait "$shard1"; then
+    echo "FAIL: shard 1 did not exit cleanly on SIGTERM" >&2
+    exit 1
+fi
+sleep "$DOWN_FOR"
+"$tmp/webmaild" -addr "127.0.0.1:$PORT_SHARD1" -snapshot "$tmp/fleet.snap" \
+    -partition 1 -partitions 2 -abuse=false >"$tmp/shard1b.log" &
+pids="$pids $!"; shard1b=$!
+wait_port "127.0.0.1:$PORT_SHARD1"
+echo "   shard 1 restarted"
+
+echo "== gate: loadgen exits 0 across the outage (zero router protocol errors)"
+if ! wait "$loadgen"; then
+    echo "FAIL: loadgen reported protocol errors or timeouts" >&2
+    cat "$tmp/loadgen.txt" >&2
+    exit 1
+fi
+cat "$tmp/loadgen.txt"
+grep -q 'Serving latency (live fleet)' "$tmp/loadgen.txt"
+
+echo "== gate: the replay actually crossed the outage"
+awk '
+    /^tolerated / {
+        seen = 1
+        if ($2 + 0 < 1) { print "FAIL: zero tolerated refusals — the kill missed the replay"; exit 1 }
+        printf "OK: %s down-shard refusals tolerated\n", $2
+    }
+    END { if (!seen) { print "FAIL: no tolerated-refusals line"; exit 1 } }
+' "$tmp/loadgen.txt"
+
+echo "== graceful drain (SIGTERM router and both shards)"
+kill -TERM "$router" "$shard0" "$shard1b"
+for p in $router $shard0 $shard1b; do
+    if ! wait "$p"; then
+        echo "FAIL: pid $p did not exit cleanly on SIGTERM" >&2
+        exit 1
+    fi
+done
+pids=""
+grep -q 'shut down' "$tmp/router.log"
+grep -q 'shut down' "$tmp/shard0.log"
+grep -q 'shut down' "$tmp/shard1b.log"
+
+echo "== gate: fleet-health section shows one clean down/up cycle"
+grep -q 'Fleet health (router)' "$tmp/router.log"
+# Columns: shard addr state dials retries evictions down-transitions
+# up-transitions inflight-hw.
+awk -v addr="127.0.0.1:$PORT_SHARD1" -v survivor="127.0.0.1:$PORT_SHARD0" '
+    $2 == addr {
+        seen = 1
+        if ($3 != "up")  { printf "FAIL: killed shard state %s, want up\n", $3; exit 1 }
+        if ($7 != 1)     { printf "FAIL: killed shard down-transitions %s, want 1\n", $7; exit 1 }
+        if ($8 != 1)     { printf "FAIL: killed shard up-transitions %s, want 1\n", $8; exit 1 }
+        printf "OK: killed shard back up after exactly one down/up cycle\n"
+    }
+    $2 == survivor {
+        if ($7 != 0) { printf "FAIL: surviving shard flapped (%s down-transitions)\n", $7; exit 1 }
+    }
+    END { if (!seen) { print "FAIL: killed shard missing from fleet-health section"; exit 1 } }
+' "$tmp/router.log"
+
+echo "live-fleet chaos: PASS"

@@ -75,9 +75,12 @@ wait_port "127.0.0.1:$PORT_SHARD1"
 cat "$tmp/creds0.txt" "$tmp/creds1.txt" > "$tmp/creds.txt"
 echo "   $(wc -l < "$tmp/creds.txt") accounts across 2 shards"
 
-echo "== front them with the router"
+echo "== front them with the router (health prober on)"
+# An explicit -health-interval keeps the throughput gate honest: the
+# 5000 req/s floor must hold with shard health probing running.
 "$tmp/webmaild" -router -addr "127.0.0.1:$PORT_ROUTER" \
-    -shards "127.0.0.1:$PORT_SHARD0,127.0.0.1:$PORT_SHARD1" >"$tmp/router.log" &
+    -shards "127.0.0.1:$PORT_SHARD0,127.0.0.1:$PORT_SHARD1" \
+    -health-interval 200ms >"$tmp/router.log" &
 pids="$pids $!"; router=$!
 wait_port "127.0.0.1:$PORT_ROUTER"
 
