@@ -13,7 +13,10 @@
 //	         [-warm-start=bool] [...]
 //
 // Experiment ids: overview, table1, fig1, fig2, fig3, fig4, fig5a,
-// fig5b, cvm, table2, sysconfig, cases, sophistication, all.
+// fig5b, cvm, table2, sysconfig, cases, sophistication, all — plus
+// defender when -defender-cadence arms the C3 detection loop, which
+// races provider-side leak detection (time-to-detection) against the
+// attackers' time-to-exploit.
 //
 // -shards partitions the run across N parallel schedulers (0 selects
 // one per CPU); the output for a fixed seed is identical at any shard
@@ -94,6 +97,9 @@ func main() {
 		warmStart    = flag.Bool("warm-start", true, "fork matrix scenarios that share a setup phase from one snapshot (false = simulate every setup; identical output)")
 		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memprofile   = flag.String("memprofile", "", "write a heap profile to this file when the run completes")
+		defCadence   = flag.Duration("defender-cadence", 0, "arm the C3 defender loop at this check cadence (0 = no defender, the paper's deployment); adds the 'defender' report section")
+		c3Bits       = flag.Int("c3-bucket-bits", 0, "k-anonymity prefix width of the C3 index fragments (0 = engine default; needs -defender-cadence)")
+		c3Variants   = flag.Bool("c3-variants", false, "index MIGP-style password variants in the C3 fragments (needs -defender-cadence)")
 	)
 	flag.Parse()
 
@@ -205,6 +211,12 @@ func main() {
 				cfg.DisableStreaming = !*stream
 			case "dirty-tracking":
 				cfg.DisableDirtyTracking = !*dirty
+			case "defender-cadence":
+				cfg.DefenderCadence = *defCadence
+			case "c3-bucket-bits":
+				cfg.C3BucketBits = *c3Bits
+			case "c3-variants":
+				cfg.C3Variants = *c3Variants
 			}
 		})
 		if err := validateShards(cfg.Shards, len(st.Accounts)); err != nil {
@@ -239,6 +251,9 @@ func main() {
 			ScaleFactor:          *scale,
 			DisableStreaming:     !*stream,
 			DisableDirtyTracking: !*dirty,
+			DefenderCadence:      *defCadence,
+			C3BucketBits:         *c3Bits,
+			C3Variants:           *c3Variants,
 		}
 		if err := validateShards(*shards, honeynet.PlannedAccounts(cfg)); err != nil {
 			log.Fatal(err)
@@ -362,6 +377,14 @@ func main() {
 	order := []string{
 		"overview", "table1", "fig1", "fig2", "fig3", "fig4",
 		"sysconfig", "fig5a", "fig5b", "cvm", "table2", "cases", "sophistication",
+	}
+	// The defender section exists only when the loop is armed, so a
+	// defender-free run prints exactly the pre-C3 report bytes.
+	if exp.DefenderEnabled() {
+		sections["defender"] = func() string {
+			return report.Defender(scenario.DefenderRows(exp.DefenderOutcomes()))
+		}
+		order = append(order, "defender")
 	}
 
 	want := strings.ToLower(*experiment)

@@ -1,0 +1,74 @@
+package c3
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/snapshot"
+)
+
+// BuildFromSnapshotFile streams a honeynet checkpoint and indexes
+// every decoy account's credential, tagged with the snapshot's start
+// time. The decoder hands accounts out one at a time, so indexing a
+// million-account fleet holds one account block in memory, not the
+// fleet.
+func BuildFromSnapshotFile(path string, store *Store) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("c3: %w", err)
+	}
+	defer f.Close()
+	dec, err := snapshot.NewDecoder(bufio.NewReader(f))
+	if err != nil {
+		return 0, err
+	}
+	at := time.Unix(0, dec.Meta().Config.StartNS)
+	n := 0
+	var a snapshot.Account
+	for {
+		if err := dec.Next(&a); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return n, err
+		}
+		store.Add(a.Address, a.Password, "snapshot", at)
+		n++
+	}
+	return n, nil
+}
+
+// BuildFromCredsFile indexes an "address password" lines file — the
+// format leakctl -creds and webmaild -creds write — tagging entries
+// with the given circulation time. Blank lines are skipped; any other
+// malformed line errors.
+func BuildFromCredsFile(path string, store *Store, site string, at time.Time) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("c3: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	n := 0
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return n, fmt.Errorf("c3: %s:%d: want \"address password\", got %q", path, line, text)
+		}
+		store.Add(fields[0], fields[1], site, at)
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return n, fmt.Errorf("c3: %w", err)
+	}
+	return n, nil
+}

@@ -1,0 +1,314 @@
+package c3
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/colstore"
+	"repro/internal/rng"
+)
+
+// Bucket sizing bounds. DefaultBucketBits matches the k-anonymity
+// sweet spot Li et al. analyse (2^16 buckets over millions of
+// credentials keeps buckets tens of entries wide — large enough that
+// a query leaks little, small enough that responses stay cheap).
+const (
+	DefaultBucketBits = 16
+	MaxBucketBits     = 32
+)
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Hash is the index key: FNV-1a (64-bit) over "account:password".
+// Every layer — outlet sink, defender, wire server, replayer — uses
+// this one function, so a credential hashes identically wherever it
+// is observed.
+func Hash(account, password string) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(account); i++ {
+		h ^= uint64(account[i])
+		h *= fnvPrime
+	}
+	h ^= ':'
+	h *= fnvPrime
+	for i := 0; i < len(password); i++ {
+		h ^= uint64(password[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// Config shapes a Store.
+type Config struct {
+	// BucketBits is the k-anonymity prefix width: queries name one of
+	// 2^BucketBits buckets and always receive the whole bucket. 0
+	// selects DefaultBucketBits; valid values are 1..MaxBucketBits.
+	BucketBits int
+	// Variants additionally indexes deterministic password mutations
+	// (the MIGP similarity-aware mode): a defender or user querying
+	// their exact credential also discovers near-miss leaks.
+	Variants bool
+}
+
+// Stats summarises an index for the wire "stats" op and reports.
+type Stats struct {
+	Credentials int  // stored entries (variants included)
+	BucketBits  int  // prefix width
+	Variants    bool // MIGP-style variant indexing on
+}
+
+// Store is the credential index: a columnar, sorted-on-demand
+// multiset of credential hashes with their source site and the
+// simulated time they entered circulation. Appends are O(1); the
+// first Range after a batch of appends pays one co-sort. Site names
+// are interned through colstore so a million entries from eight
+// outlets hold eight strings.
+//
+// The zero value is not usable; construct with New.
+type Store struct {
+	mu       sync.Mutex
+	bits     uint
+	variants bool
+
+	// Parallel columns, co-sorted by (hash, at, site) when sorted.
+	hashes []uint64
+	ats    []int64  // unix-nano circulation time
+	sites  []string // interned
+	sorted bool
+
+	intern colstore.Interner
+}
+
+// New validates cfg and returns an empty Store.
+func New(cfg Config) (*Store, error) {
+	bits := cfg.BucketBits
+	if bits == 0 {
+		bits = DefaultBucketBits
+	}
+	if bits < 1 || bits > MaxBucketBits {
+		return nil, fmt.Errorf("c3: bucket bits %d out of range [1,%d]", cfg.BucketBits, MaxBucketBits)
+	}
+	return &Store{bits: uint(bits), variants: cfg.Variants, sorted: true}, nil
+}
+
+// Bits returns the configured prefix width.
+func (s *Store) Bits() int { return int(s.bits) }
+
+// Len returns the number of stored entries (variants included).
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.hashes)
+}
+
+// Stats returns the index summary.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{Credentials: len(s.hashes), BucketBits: int(s.bits), Variants: s.variants}
+}
+
+// Add indexes one credential observed in circulation at the given
+// simulated time. With Variants on, the deterministic mutations of
+// the password are indexed alongside it.
+func (s *Store) Add(account, password, site string, at time.Time) {
+	s.mu.Lock()
+	s.addLocked(Hash(account, password), site, at.UnixNano())
+	if s.variants {
+		for _, v := range Variants(password) {
+			s.addLocked(Hash(account, v), site, at.UnixNano())
+		}
+	}
+	s.mu.Unlock()
+}
+
+// AddHash indexes a pre-computed credential hash (snapshot builds,
+// benchmarks). Variant expansion is the caller's business here: only
+// Add sees a password to mutate.
+func (s *Store) AddHash(h uint64, site string, atNS int64) {
+	s.mu.Lock()
+	s.addLocked(h, site, atNS)
+	s.mu.Unlock()
+}
+
+func (s *Store) addLocked(h uint64, site string, atNS int64) {
+	s.hashes = append(s.hashes, h)
+	s.ats = append(s.ats, atNS)
+	s.sites = append(s.sites, s.intern.Intern(site))
+	s.sorted = false
+}
+
+// bucketOf returns the bucket index of a full hash.
+func (s *Store) bucketOf(h uint64) uint64 { return h >> (64 - s.bits) }
+
+// Buckets returns the bucket count, 2^BucketBits.
+func (s *Store) Buckets() uint64 { return 1 << s.bits }
+
+// Range returns every stored hash in the named bucket, ascending,
+// duplicates preserved. This is the k-anonymity contract: the
+// response is always the whole bucket — the store offers no narrower
+// question, so a query reveals only a BucketBits-wide prefix of the
+// credential being checked. An out-of-range prefix errors.
+func (s *Store) Range(prefix uint64) ([]uint64, error) {
+	if prefix >= 1<<s.bits {
+		return nil, fmt.Errorf("c3: prefix %#x out of range for %d bucket bits", prefix, s.bits)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sortLocked()
+	lo := prefix << (64 - s.bits)
+	hi := sort.Search(len(s.hashes), func(i int) bool { return s.bucketOf(s.hashes[i]) > prefix })
+	start := sort.Search(hi, func(i int) bool { return s.hashes[i] >= lo })
+	if start == hi {
+		return nil, nil
+	}
+	out := make([]uint64, hi-start)
+	copy(out, s.hashes[start:hi])
+	return out, nil
+}
+
+// Contains reports whether the exact hash is indexed. It goes through
+// Range — the same whole-bucket read a remote client performs — so
+// in-process defenders exercise the identical code path the wire
+// serves.
+func (s *Store) Contains(h uint64) bool {
+	bucket, err := s.Range(s.bucketOf(h))
+	if err != nil {
+		return false
+	}
+	for _, got := range bucket {
+		if got == h {
+			return true
+		}
+	}
+	return false
+}
+
+// ParsePrefix parses a wire bucket prefix: 1..16 hex digits naming a
+// bucket under the given width. Anything else — empty, non-hex, or a
+// value at or beyond 2^bits — errors.
+func ParsePrefix(hex string, bits int) (uint64, error) {
+	if hex == "" {
+		return 0, fmt.Errorf("c3: empty prefix")
+	}
+	if len(hex) > 16 {
+		return 0, fmt.Errorf("c3: prefix %q longer than 16 hex digits", hex)
+	}
+	v, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("c3: bad prefix %q: not hexadecimal", hex)
+	}
+	if bits < 1 || bits > MaxBucketBits {
+		return 0, fmt.Errorf("c3: bucket bits %d out of range [1,%d]", bits, MaxBucketBits)
+	}
+	if v >= 1<<uint(bits) {
+		return 0, fmt.Errorf("c3: prefix %#x out of range for %d bucket bits", v, bits)
+	}
+	return v, nil
+}
+
+// FormatHash renders a full hash the way the wire protocol carries
+// it: exactly 16 lower-case hex digits.
+func FormatHash(h uint64) string { return fmt.Sprintf("%016x", h) }
+
+// sortLocked co-sorts the columns by (hash, at, site). Sorting is
+// deferred to the first read after a batch of appends, so live
+// ingestion from outlet pickups stays O(1) per credential and the
+// defender's cadence amortises the sort.
+func (s *Store) sortLocked() {
+	if s.sorted {
+		return
+	}
+	sort.Sort((*byHash)(s))
+	s.sorted = true
+}
+
+type byHash Store
+
+func (b *byHash) Len() int { return len(b.hashes) }
+func (b *byHash) Less(i, j int) bool {
+	if b.hashes[i] != b.hashes[j] {
+		return b.hashes[i] < b.hashes[j]
+	}
+	if b.ats[i] != b.ats[j] {
+		return b.ats[i] < b.ats[j]
+	}
+	return b.sites[i] < b.sites[j]
+}
+func (b *byHash) Swap(i, j int) {
+	b.hashes[i], b.hashes[j] = b.hashes[j], b.hashes[i]
+	b.ats[i], b.ats[j] = b.ats[j], b.ats[i]
+	b.sites[i], b.sites[j] = b.sites[j], b.sites[i]
+}
+
+// Variants returns the deterministic password mutations the MIGP
+// mode indexes: a fixed rule list (append-digit/symbol suffixes, case
+// folds, last-character strip, leetspeak) applied in a fixed order,
+// deduplicated, the original excluded. Pure function of the password
+// — no randomness — so every shard, the wire server and a resumed
+// snapshot expand a credential identically.
+func Variants(password string) []string {
+	if password == "" {
+		return nil
+	}
+	cands := []string{
+		password + "1",
+		password + "123",
+		password + "!",
+		strings.ToLower(password),
+		strings.ToUpper(password),
+		capitalize(password),
+		password[:len(password)-1],
+		leet(password),
+	}
+	seen := map[string]bool{password: true, "": true}
+	out := make([]string, 0, len(cands))
+	for _, c := range cands {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func capitalize(s string) string {
+	if c := s[0]; c >= 'a' && c <= 'z' {
+		return string(c-'a'+'A') + s[1:]
+	}
+	return s
+}
+
+var leetMap = map[byte]byte{'a': '@', 'e': '3', 'i': '1', 'o': '0', 's': '$'}
+
+func leet(s string) string {
+	b := []byte(s)
+	changed := false
+	for i, c := range b {
+		if r, ok := leetMap[c]; ok {
+			b[i] = r
+			changed = true
+		}
+	}
+	if !changed {
+		return s
+	}
+	return string(b)
+}
+
+// Synthetic streams n deterministic synthetic credentials to f — the
+// fleet-scale fill for benchmarks and `c3d -synthetic`. Same seed,
+// same credentials, in the same order, without materialising n pairs.
+func Synthetic(seed int64, n int, f func(account, password string)) {
+	src := rng.New(seed).ForkNamed("c3-synthetic")
+	for i := 0; i < n; i++ {
+		f(fmt.Sprintf("decoy%08d@example.com", i), fmt.Sprintf("pw-%016x", uint64(src.Int63())))
+	}
+}

@@ -1,0 +1,231 @@
+package c3
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func mustNew(t *testing.T, cfg Config) *Store {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestHashDeterministicAndKeyed(t *testing.T) {
+	if Hash("a@x", "pw") != Hash("a@x", "pw") {
+		t.Fatal("hash not deterministic")
+	}
+	if Hash("a@x", "pw") == Hash("pw", "a@x") {
+		t.Fatal("account and password roles should not be interchangeable")
+	}
+	if Hash("a@x", "pw") == Hash("a@x", "pw2") {
+		t.Fatal("distinct passwords should (overwhelmingly) hash apart")
+	}
+}
+
+func TestNewValidatesBits(t *testing.T) {
+	if s := mustNew(t, Config{}); s.Bits() != DefaultBucketBits {
+		t.Fatalf("default bits = %d, want %d", s.Bits(), DefaultBucketBits)
+	}
+	for _, bad := range []int{-1, 33, 64} {
+		if _, err := New(Config{BucketBits: bad}); err == nil {
+			t.Errorf("New(bits=%d): no error", bad)
+		}
+	}
+	for _, ok := range []int{1, 16, 32} {
+		if _, err := New(Config{BucketBits: ok}); err != nil {
+			t.Errorf("New(bits=%d): %v", ok, err)
+		}
+	}
+}
+
+// TestRangeBucketBoundaries plants hashes exactly at bucket edges and
+// asserts each lands in precisely one bucket: the first value of
+// bucket p, the last value of bucket p, and the first value of p+1.
+func TestRangeBucketBoundaries(t *testing.T) {
+	const bits = 8
+	s := mustNew(t, Config{BucketBits: bits})
+	const p = uint64(0x41)
+	lo := p << (64 - bits)         // first hash of bucket p
+	hi := (p+1)<<(64-bits) - 1     // last hash of bucket p
+	next := (p + 1) << (64 - bits) // first hash of bucket p+1
+	for _, h := range []uint64{lo, hi, next} {
+		s.AddHash(h, "test", 0)
+	}
+	got, err := s.Range(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []uint64{lo, hi}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Range(%#x) = %x, want %x", p, got, want)
+	}
+	got, err = s.Range(p + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []uint64{next}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Range(%#x) = %x, want %x", p+1, got, want)
+	}
+}
+
+func TestRangeEmptyBucketAndOutOfRange(t *testing.T) {
+	s := mustNew(t, Config{BucketBits: 4})
+	s.AddHash(0, "test", 0) // bucket 0 only
+	got, err := s.Range(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty bucket returned %x", got)
+	}
+	if _, err := s.Range(16); err == nil {
+		t.Fatal("Range(2^bits) should error")
+	}
+}
+
+// TestKAnonymityWholeBucket is the privacy property: however precise
+// the caller's interest, the response is the entire bucket. Contains
+// (the defender's path) must observe every co-bucketed entry, and
+// Range offers no way to ask for fewer.
+func TestKAnonymityWholeBucket(t *testing.T) {
+	const bits = 4 // 16 buckets so synthetic creds collide densely
+	s := mustNew(t, Config{BucketBits: bits})
+	var all []uint64
+	Synthetic(7, 200, func(a, p string) {
+		s.Add(a, p, "synthetic", time.Unix(0, 0))
+		all = append(all, Hash(a, p))
+	})
+	perBucket := map[uint64]int{}
+	for _, h := range all {
+		perBucket[h>>(64-bits)]++
+	}
+	for p, want := range perBucket {
+		got, err := s.Range(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != want {
+			t.Fatalf("bucket %#x: Range returned %d entries, bucket holds %d — response narrowed below the bucket", p, len(got), want)
+		}
+		for _, h := range got {
+			if h>>(64-bits) != p {
+				t.Fatalf("bucket %#x: stray hash %016x from bucket %#x", p, h, h>>(64-bits))
+			}
+		}
+	}
+	for _, h := range all {
+		if !s.Contains(h) {
+			t.Fatalf("stored hash %016x not found via bucket range", h)
+		}
+	}
+	if s.Contains(0xdeadbeefdeadbeef) {
+		t.Fatal("unstored hash reported present")
+	}
+}
+
+func TestRangeSortedAcrossIngestOrder(t *testing.T) {
+	// Two stores fed the same entries in different orders must answer
+	// identically — the shard-local live ingest happens in event order,
+	// which varies, while responses must not.
+	a := mustNew(t, Config{BucketBits: 4})
+	b := mustNew(t, Config{BucketBits: 4})
+	hashes := []uint64{0x10, 0x30, 0x20, 0x25, 0x15}
+	for _, h := range hashes {
+		a.AddHash(h, "x", 0)
+	}
+	for i := len(hashes) - 1; i >= 0; i-- {
+		b.AddHash(hashes[i], "x", 0)
+	}
+	ga, _ := a.Range(0)
+	gb, _ := b.Range(0)
+	if !reflect.DeepEqual(ga, gb) {
+		t.Fatalf("ingest order leaked into responses: %x vs %x", ga, gb)
+	}
+}
+
+func TestVariantsDeterministicAndDistinct(t *testing.T) {
+	v1 := Variants("Passw0rd")
+	v2 := Variants("Passw0rd")
+	if !reflect.DeepEqual(v1, v2) {
+		t.Fatal("Variants not deterministic")
+	}
+	seen := map[string]bool{"Passw0rd": true}
+	for _, v := range v1 {
+		if seen[v] {
+			t.Fatalf("duplicate/original variant %q", v)
+		}
+		seen[v] = true
+	}
+	if Variants("") != nil {
+		t.Fatal("empty password should have no variants")
+	}
+	// A single char must not panic (truncation rule drops to "").
+	if got := Variants("a"); len(got) == 0 {
+		t.Fatal("one-char password should still have suffix variants")
+	}
+}
+
+func TestVariantModeIndexesMutations(t *testing.T) {
+	s := mustNew(t, Config{BucketBits: 8, Variants: true})
+	s.Add("victim@example.com", "hunter2", "paste", time.Unix(0, 0))
+	if !s.Contains(Hash("victim@example.com", "hunter2")) {
+		t.Fatal("exact credential missing")
+	}
+	if !s.Contains(Hash("victim@example.com", "hunter21")) {
+		t.Fatal("suffix variant not indexed")
+	}
+	if !s.Contains(Hash("victim@example.com", "Hunter2")) {
+		t.Fatal("capitalized variant not indexed")
+	}
+	plain := mustNew(t, Config{BucketBits: 8})
+	plain.Add("victim@example.com", "hunter2", "paste", time.Unix(0, 0))
+	if plain.Contains(Hash("victim@example.com", "hunter21")) {
+		t.Fatal("variant indexed with Variants off")
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	var a, b []string
+	Synthetic(3, 50, func(ac, pw string) { a = append(a, ac+" "+pw) })
+	Synthetic(3, 50, func(ac, pw string) { b = append(b, ac+" "+pw) })
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Synthetic not deterministic")
+	}
+	var c []string
+	Synthetic(4, 50, func(ac, pw string) { c = append(c, ac+" "+pw) })
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("Synthetic ignores seed")
+	}
+}
+
+func TestParsePrefix(t *testing.T) {
+	good := map[string]uint64{"0": 0, "a": 10, "ff": 255, "0041": 0x41}
+	for in, want := range good {
+		got, err := ParsePrefix(in, 16)
+		if err != nil || got != want {
+			t.Errorf("ParsePrefix(%q,16) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "g", "-1", "0x10", "10000", "ffffffffffffffff0"} {
+		if _, err := ParsePrefix(bad, 16); err == nil {
+			t.Errorf("ParsePrefix(%q,16): no error", bad)
+		}
+	}
+	if _, err := ParsePrefix("1", 0); err == nil {
+		t.Error("ParsePrefix with 0 bits: no error")
+	}
+}
+
+func TestStatsCountsVariants(t *testing.T) {
+	s := mustNew(t, Config{BucketBits: 12, Variants: true})
+	s.Add("a@x", "secret", "forum", time.Unix(0, 0))
+	st := s.Stats()
+	want := 1 + len(Variants("secret"))
+	if st.Credentials != want || st.BucketBits != 12 || !st.Variants {
+		t.Fatalf("Stats = %+v, want %d creds, 12 bits, variants on", st, want)
+	}
+}

@@ -1,0 +1,33 @@
+// Package c3 is a compromised-credential-checking (C3) service over
+// the credentials this simulation leaks — the defensive counterpart
+// to the paper's measurement. The paper (§3, §5) watches what
+// criminals do after webmail credentials circulate on paste sites,
+// underground forums and malware C&C channels; a C3 service is what
+// lets the account owner find out first.
+//
+// The design follows "Protocols for Checking Compromised Credentials"
+// (Li et al., CCS 2019): credentials are stored as 64-bit FNV-1a
+// hashes of "account:password" and queried by k-anonymity hash-prefix
+// buckets — a client names only the top BucketBits bits of its hash
+// and always receives the entire bucket, so the service never learns
+// which credential was checked (Store.Range enforces that the API
+// offers no narrower question). The optional Variants mode is the
+// "Might I Get Pwned" (Pal et al., USENIX Security 2022) idea in
+// deterministic miniature: a fixed mutation list (suffixes, case
+// folds, truncation, leetspeak) is indexed alongside each password,
+// so near-miss reuse is also discoverable.
+//
+// The index is populated three ways, all through the same Hash/Add
+// path: live, as outlet pickups put leaked credentials into criminal
+// circulation (the honeynet's per-shard sink, see internal/honeynet's
+// defender); from a post-setup snapshot (cmd/c3d -snapshot); or
+// synthetically at fleet scale for benchmarks (Synthetic). Storage is
+// columnar — parallel hash/time/site columns, site names interned via
+// internal/colstore — appended in O(1) and co-sorted on the first
+// read after a batch of writes.
+//
+// Server/Client speak the repo's newline-JSON wire protocol
+// (docs/WIRE_PROTOCOL.md) with the live fleet's graceful-drain
+// contract, and Replay is the deterministic query load generator CI's
+// c3-smoke job gates on.
+package c3

@@ -1,0 +1,30 @@
+package c3_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/c3"
+)
+
+// ExampleStore_Range walks the whole k-anonymity exchange in-process:
+// index a leaked credential, query its bucket by prefix, and compare
+// locally — the server side never sees which hash the client wanted.
+func ExampleStore_Range() {
+	store, _ := c3.New(c3.Config{BucketBits: 16})
+	store.Add("victim@example.com", "hunter2", "pastebin.example", time.Unix(0, 0))
+
+	h := c3.Hash("victim@example.com", "hunter2")
+	prefix := h >> (64 - 16) // the only part of the hash a query reveals
+
+	bucket, _ := store.Range(prefix)
+	leaked := false
+	for _, got := range bucket {
+		if got == h {
+			leaked = true
+		}
+	}
+	fmt.Printf("bucket %04x holds %d hash(es); credential leaked: %v\n", prefix, len(bucket), leaked)
+	// Output:
+	// bucket c4f8 holds 1 hash(es); credential leaked: true
+}

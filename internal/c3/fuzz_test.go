@@ -1,0 +1,62 @@
+package c3
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzC3Range hammers the range handler with arbitrary prefix strings
+// across every bucket width: malformed prefixes must earn an error
+// frame — never a panic — and anything accepted must honour the
+// k-anonymity contract (every returned hash carries the queried
+// prefix).
+func FuzzC3Range(f *testing.F) {
+	f.Add("0", 16)
+	f.Add("ffff", 16)
+	f.Add("", 16)
+	f.Add("zz", 16)
+	f.Add("0x41", 8)
+	f.Add("ffffffffffffffff", 32)
+	f.Add("ffffffffffffffff0", 1)
+	f.Add("00000000000000000000", 16)
+	f.Add("-1", 4)
+	f.Add("﷽", 16) // multi-byte input must not confuse hex parsing
+
+	stores := map[int]*Server{}
+	for _, bits := range []int{1, 8, 16, 32} {
+		s, err := New(Config{BucketBits: bits})
+		if err != nil {
+			f.Fatal(err)
+		}
+		Synthetic(int64(bits), 64, func(a, p string) { s.Add(a, p, "synthetic", time.Unix(0, 0)) })
+		stores[bits] = NewServer(s)
+	}
+
+	f.Fuzz(func(t *testing.T, prefix string, bits int) {
+		srv, ok := stores[bits]
+		if !ok {
+			srv = stores[16]
+			bits = 16
+		}
+		resp := srv.Handle(&Request{Op: "range", Prefix: prefix})
+		if !resp.OK {
+			if resp.Error == "" {
+				t.Fatalf("prefix %q: rejected without an error message", prefix)
+			}
+			return
+		}
+		want, err := ParsePrefix(prefix, bits)
+		if err != nil {
+			t.Fatalf("prefix %q accepted by Handle but rejected by ParsePrefix: %v", prefix, err)
+		}
+		for _, hex := range resp.Hashes {
+			h, err := parseFullHash(hex)
+			if err != nil {
+				t.Fatalf("prefix %q: bad hash on the wire: %v", prefix, err)
+			}
+			if h>>(64-uint(bits)) != want {
+				t.Fatalf("prefix %q: hash %s outside bucket %#x", prefix, hex, want)
+			}
+		}
+	})
+}

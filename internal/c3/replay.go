@@ -1,0 +1,170 @@
+package c3
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// ReplayConfig shapes a deterministic range-query replay against a
+// running c3 server — the loadgen counterpart for the credential-
+// checking path. The whole query plan derives from the seed: same
+// seed, same prefixes in the same per-connection order.
+type ReplayConfig struct {
+	Addr    string        // server to load (required)
+	Queries int           // total range queries across all connections
+	Conns   int           // concurrent connections
+	QPS     float64       // aggregate offered rate; 0 = closed loop
+	Seed    int64         // plan seed
+	Timeout time.Duration // per-query deadline (0 = none)
+	Label   string        // report row label ("" derives one)
+}
+
+// Replay runs the plan and returns the merged serving stats. Any
+// protocol error or timeout is also reflected in the returned error —
+// the CI smoke gates on it.
+func Replay(cfg ReplayConfig) (report.ServingStats, error) {
+	if cfg.Addr == "" {
+		return report.ServingStats{}, fmt.Errorf("c3: replay needs an address")
+	}
+	if cfg.Conns < 1 {
+		cfg.Conns = 1
+	}
+	if cfg.Queries < 1 {
+		cfg.Queries = 1
+	}
+
+	// One probe connection learns the bucket width so the plan can
+	// draw in-range prefixes.
+	probeCtx, cancel := context.WithTimeout(context.Background(), dialTimeout(cfg.Timeout))
+	defer cancel()
+	probe, err := Dial(probeCtx, cfg.Addr)
+	if err != nil {
+		return report.ServingStats{}, err
+	}
+	if cfg.Timeout > 0 {
+		probe.SetDeadline(time.Now().Add(cfg.Timeout))
+	}
+	st, err := probe.Stats()
+	probe.Close()
+	if err != nil {
+		return report.ServingStats{}, fmt.Errorf("c3: stats probe: %w", err)
+	}
+	buckets := uint64(1) << uint(st.BucketBits)
+
+	// Pace open-loop per connection: each of C connections offers
+	// QPS/C, so the aggregate offered rate is QPS.
+	var interval time.Duration
+	if cfg.QPS > 0 {
+		interval = time.Duration(float64(time.Second) * float64(cfg.Conns) / cfg.QPS)
+	}
+
+	type connResult struct {
+		hist             stats.LatencyHist
+		requests         int64
+		errors, timeouts int64
+		firstErr         error
+	}
+	results := make([]connResult, cfg.Conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ci := 0; ci < cfg.Conns; ci++ {
+		n := cfg.Queries / cfg.Conns
+		if ci < cfg.Queries%cfg.Conns {
+			n++
+		}
+		wg.Add(1)
+		go func(ci, n int) {
+			defer wg.Done()
+			res := &results[ci]
+			src := rng.New(cfg.Seed).ForkNamed(fmt.Sprintf("c3-replay:%d", ci))
+			ctx, cancel := context.WithTimeout(context.Background(), dialTimeout(cfg.Timeout))
+			client, err := Dial(ctx, cfg.Addr)
+			cancel()
+			if err != nil {
+				res.errors++
+				res.firstErr = err
+				return
+			}
+			defer client.Close()
+			next := time.Now()
+			for q := 0; q < n; q++ {
+				prefix := uint64(src.Int63()) % buckets
+				if interval > 0 {
+					if d := time.Until(next); d > 0 {
+						time.Sleep(d)
+					}
+					next = next.Add(interval)
+				}
+				if cfg.Timeout > 0 {
+					client.SetDeadline(time.Now().Add(cfg.Timeout))
+				}
+				t0 := time.Now()
+				_, err := client.Range(prefix)
+				res.hist.Record(time.Since(t0))
+				res.requests++
+				if err != nil {
+					if isTimeout(err) {
+						res.timeouts++
+					} else {
+						res.errors++
+					}
+					if res.firstErr == nil {
+						res.firstErr = err
+					}
+					return // the connection state is unknown; stop this worker
+				}
+			}
+		}(ci, n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	merged := report.ServingStats{Label: cfg.Label, Hist: &stats.LatencyHist{}, Elapsed: elapsed}
+	if merged.Label == "" {
+		merged.Label = fmt.Sprintf("c3 %d conns", cfg.Conns)
+	}
+	var firstErr error
+	for i := range results {
+		r := &results[i]
+		merged.Hist.Merge(&r.hist)
+		merged.Requests += r.requests
+		merged.Errors += r.errors
+		merged.Timeouts += r.timeouts
+		if firstErr == nil && r.firstErr != nil {
+			firstErr = r.firstErr
+		}
+	}
+	if firstErr != nil {
+		return merged, fmt.Errorf("c3: replay saw %d errors, %d timeouts (first: %w)",
+			merged.Errors, merged.Timeouts, firstErr)
+	}
+	return merged, nil
+}
+
+func dialTimeout(t time.Duration) time.Duration {
+	if t <= 0 {
+		return 10 * time.Second
+	}
+	return t
+}
+
+func isTimeout(err error) bool {
+	type timeouter interface{ Timeout() bool }
+	for e := err; e != nil; {
+		if t, ok := e.(timeouter); ok && t.Timeout() {
+			return true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
+}

@@ -1,0 +1,341 @@
+package c3
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Wire protocol: the repo's newline-delimited JSON frames over TCP
+// (docs/WIRE_PROTOCOL.md). Three ops — "range" (the k-anonymity
+// bucket query), "stats" (index summary) and "ping" (health) — plus
+// the shared convention that an unknown op earns an error frame, so
+// the router's probe path works against c3d unchanged.
+
+// Request is one client command.
+type Request struct {
+	Op string `json:"op"`
+	// Prefix names a bucket for "range": 1..16 hex digits, value
+	// below 2^BucketBits.
+	Prefix string `json:"prefix,omitempty"`
+}
+
+// Response is the server's reply.
+type Response struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// Hashes is the full contents of the queried bucket — every
+	// stored credential hash as 16 lower-case hex digits. The client
+	// compares its own hash locally; the server never learns which
+	// entry (if any) it was after.
+	Hashes []string `json:"hashes,omitempty"`
+	// Stats fields ("stats" op).
+	Credentials int  `json:"credentials,omitempty"`
+	Bits        int  `json:"bits,omitempty"`
+	Variants    bool `json:"variants,omitempty"`
+}
+
+// Server exposes a Store over TCP with the live fleet's drain
+// contract: SIGTERM stops the listener, drops idle connections, and
+// lets an in-flight request finish its response.
+type Server struct {
+	store *Store
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[*srvConn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// srvConn tracks one connection's drain state.
+type srvConn struct {
+	net.Conn
+	mu            sync.Mutex
+	busy          bool
+	closeWhenIdle bool
+}
+
+func (c *srvConn) beginRequest() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closeWhenIdle {
+		return false
+	}
+	c.busy = true
+	return true
+}
+
+func (c *srvConn) endRequest() (quit bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.busy = false
+	return c.closeWhenIdle
+}
+
+func (c *srvConn) drain() {
+	c.mu.Lock()
+	idle := !c.busy
+	c.closeWhenIdle = true
+	c.mu.Unlock()
+	if idle {
+		c.Close()
+	}
+}
+
+// NewServer wraps a store.
+func NewServer(store *Store) *Server {
+	return &Server{store: store, conns: make(map[*srvConn]struct{})}
+}
+
+// Listen starts accepting connections on addr ("127.0.0.1:0" for an
+// ephemeral port) and returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("c3: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		sc := &srvConn{Conn: conn}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[sc] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(sc)
+			s.mu.Lock()
+			delete(s.conns, sc)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops the listener and all connections immediately, in-flight
+// requests included. Prefer Drain for an orderly shutdown.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Drain shuts the server down gracefully: listener first, idle
+// connections at once, busy connections after their in-flight
+// response. Returns once every connection has exited, or forces a
+// Close and returns ctx.Err() when the context expires first.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.listener
+	s.listener = nil
+	conns := make([]*srvConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.drain()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+func (s *Server) serveConn(conn *srvConn) {
+	defer conn.Close()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return // EOF or bad frame: drop the connection
+		}
+		if !conn.beginRequest() {
+			return // draining: the request never started, drop it
+		}
+		resp := s.Handle(&req)
+		err := enc.Encode(resp)
+		if conn.endRequest() || err != nil {
+			return
+		}
+	}
+}
+
+// Handle executes one request. Exported so the fuzzer and in-process
+// callers hit exactly the code path the socket serves.
+func (s *Server) Handle(req *Request) Response {
+	fail := func(err error) Response { return Response{Error: err.Error()} }
+	switch req.Op {
+	case "range":
+		prefix, err := ParsePrefix(req.Prefix, s.store.Bits())
+		if err != nil {
+			return fail(err)
+		}
+		hashes, err := s.store.Range(prefix)
+		if err != nil {
+			return fail(err)
+		}
+		out := make([]string, len(hashes))
+		for i, h := range hashes {
+			out[i] = FormatHash(h)
+		}
+		return Response{OK: true, Hashes: out, Bits: s.store.Bits()}
+	case "stats":
+		st := s.store.Stats()
+		return Response{OK: true, Credentials: st.Credentials, Bits: st.BucketBits, Variants: st.Variants}
+	case "ping":
+		return Response{OK: true}
+	default:
+		return fail(fmt.Errorf("c3: unknown op %q", req.Op))
+	}
+}
+
+// Client is a minimal wire-protocol client.
+type Client struct {
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+}
+
+// Dial connects to a c3 server.
+func Dial(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("c3: dial: %w", err)
+	}
+	return &Client{
+		conn: conn,
+		enc:  json.NewEncoder(conn),
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// SetDeadline bounds the next round trip (both directions).
+func (c *Client) SetDeadline(t time.Time) error { return c.conn.SetDeadline(t) }
+
+// Do performs one request/response round trip.
+func (c *Client) Do(req Request) (Response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, fmt.Errorf("c3: send: %w", err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Response{}, fmt.Errorf("c3: connection closed: %w", err)
+		}
+		return Response{}, fmt.Errorf("c3: recv: %w", err)
+	}
+	return resp, nil
+}
+
+// Range queries one bucket and returns its full hashes.
+func (c *Client) Range(prefix uint64) ([]uint64, error) {
+	resp, err := c.Do(Request{Op: "range", Prefix: fmt.Sprintf("%x", prefix)})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Error != "" {
+		return nil, errors.New(resp.Error)
+	}
+	out := make([]uint64, len(resp.Hashes))
+	for i, h := range resp.Hashes {
+		v, err := parseFullHash(h)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Stats queries the index summary.
+func (c *Client) Stats() (Stats, error) {
+	resp, err := c.Do(Request{Op: "stats"})
+	if err != nil {
+		return Stats{}, err
+	}
+	if resp.Error != "" {
+		return Stats{}, errors.New(resp.Error)
+	}
+	return Stats{Credentials: resp.Credentials, BucketBits: resp.Bits, Variants: resp.Variants}, nil
+}
+
+func parseFullHash(hex string) (uint64, error) {
+	if len(hex) != 16 {
+		return 0, fmt.Errorf("c3: hash %q is not 16 hex digits", hex)
+	}
+	var v uint64
+	for i := 0; i < 16; i++ {
+		c := hex[i]
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		default:
+			return 0, fmt.Errorf("c3: hash %q is not lower-case hex", hex)
+		}
+		v = v<<4 | d
+	}
+	return v, nil
+}

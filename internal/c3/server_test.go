@@ -1,0 +1,126 @@
+package c3
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func startServer(t *testing.T, store *Store) (addr string, srv *Server) {
+	t.Helper()
+	srv = NewServer(store)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr, srv
+}
+
+func dialT(t *testing.T, addr string) *Client {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	c, err := Dial(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestServerRangeRoundTrip(t *testing.T) {
+	store := mustNew(t, Config{BucketBits: 8})
+	Synthetic(11, 300, func(a, p string) { store.Add(a, p, "synthetic", time.Unix(0, 0)) })
+	addr, _ := startServer(t, store)
+	c := dialT(t, addr)
+
+	h := Hash("decoy00000007@example.com", "") // arbitrary probe bucket
+	prefix := h >> (64 - 8)
+	want, err := store.Range(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Range(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("wire returned %d hashes, store holds %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("hash %d: wire %016x, store %016x", i, got[i], want[i])
+		}
+	}
+}
+
+func TestServerStatsAndPing(t *testing.T) {
+	store := mustNew(t, Config{BucketBits: 10, Variants: true})
+	store.Add("a@x", "pw", "paste", time.Unix(0, 0))
+	addr, _ := startServer(t, store)
+	c := dialT(t, addr)
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BucketBits != 10 || !st.Variants || st.Credentials != store.Len() {
+		t.Fatalf("wire stats %+v, store %+v", st, store.Stats())
+	}
+	resp, err := c.Do(Request{Op: "ping"})
+	if err != nil || !resp.OK {
+		t.Fatalf("ping: %+v, %v", resp, err)
+	}
+}
+
+func TestServerErrorFrames(t *testing.T) {
+	store := mustNew(t, Config{BucketBits: 8})
+	addr, _ := startServer(t, store)
+	c := dialT(t, addr)
+
+	// Unknown op: an error frame, not a dropped connection — the
+	// router's health probe depends on this shape.
+	resp, err := c.Do(Request{Op: "teapot"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || !strings.Contains(resp.Error, "unknown op") {
+		t.Fatalf("unknown op: %+v", resp)
+	}
+	for _, bad := range []string{"", "zz", "100"} { // 0x100 >= 2^8
+		resp, err := c.Do(Request{Op: "range", Prefix: bad})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.OK || resp.Error == "" {
+			t.Fatalf("prefix %q: want error frame, got %+v", bad, resp)
+		}
+	}
+	// The connection survives error frames.
+	if resp, err := c.Do(Request{Op: "ping"}); err != nil || !resp.OK {
+		t.Fatalf("connection dead after error frames: %+v, %v", resp, err)
+	}
+}
+
+func TestServerDrainFinishesInFlight(t *testing.T) {
+	store := mustNew(t, Config{BucketBits: 8})
+	store.Add("a@x", "pw", "paste", time.Unix(0, 0))
+	addr, srv := startServer(t, store)
+	c := dialT(t, addr)
+	if _, err := c.Do(Request{Op: "ping"}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	// Post-drain the listener is gone and the idle connection dropped.
+	dctx, dcancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer dcancel()
+	if _, err := Dial(dctx, addr); err == nil {
+		t.Fatal("dial succeeded after drain")
+	}
+}

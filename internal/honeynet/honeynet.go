@@ -97,6 +97,26 @@ type Config struct {
 	// Zero keeps the legacy layout, where setup draws from the root
 	// stream and the default path stays byte-identical.
 	SetupSeed int64
+	// DefenderCadence enables the C3 defender loop (see defender.go):
+	// every cadence, a provider-side defender range-queries the
+	// shard-local C3 index fragment for each still-undetected honey
+	// account's leaked credential and, on a hit, resets the password —
+	// cutting every live attacker session off. Zero (the default)
+	// disables the subsystem entirely: no fragments are built, no
+	// wheel chain is armed, and every dataset and report is
+	// byte-identical to a run without it.
+	DefenderCadence time.Duration
+	// C3BucketBits is the k-anonymity prefix width of the C3
+	// fragments (0 selects c3.DefaultBucketBits). Narrower prefixes
+	// mean bigger buckets — more privacy, more response bytes — and
+	// never change detection outcomes, only query cost. Only
+	// meaningful with DefenderCadence > 0.
+	C3BucketBits int
+	// C3Variants turns on MIGP-style variant indexing in the C3
+	// fragments: deterministic password mutations are indexed
+	// alongside each ingested credential. Only meaningful with
+	// DefenderCadence > 0.
+	C3Variants bool
 	// SetupWorkers bounds the goroutines the parallel setup layout
 	// fans account construction out over; zero selects one per
 	// available CPU. It only matters with SetupSeed != 0 (the legacy
@@ -610,6 +630,7 @@ func (e *Experiment) Leak() error {
 	if !e.cfg.DisableCaseStudies {
 		e.scheduleCaseStudies()
 	}
+	e.armDefenders()
 	e.leaked = true
 	return nil
 }

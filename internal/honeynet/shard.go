@@ -2,10 +2,12 @@ package honeynet
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/appscript"
 	"repro/internal/attacker"
+	"repro/internal/c3"
 	"repro/internal/geo"
 	"repro/internal/malnet"
 	"repro/internal/monitor"
@@ -55,6 +57,11 @@ type shard struct {
 	// sc classifies this shard's accesses as the simulation runs
 	// (nil when Config.DisableStreaming is set).
 	sc *analysis.StreamClassifier
+	// c3 is this shard's C3 index fragment, fed at pickup/exfil time
+	// by the shard's own blocks; def is the detection loop over it.
+	// Both nil unless Config.DefenderCadence > 0 (see defender.go).
+	c3  *c3.Store
+	def *defender
 }
 
 // block owns the deterministic per-plan-entry machinery.
@@ -93,6 +100,13 @@ func newShards(n int, cfg Config, svc *webmail.Service, monEP netsim.Endpoint) (
 		}
 		if err := svc.ConfigurePartition(i, clock.Now, sh.sink); err != nil {
 			return nil, nil, fmt.Errorf("honeynet: bind partition %d: %w", i, err)
+		}
+		if cfg.DefenderCadence > 0 {
+			frag, err := c3.New(c3.Config{BucketBits: cfg.C3BucketBits, Variants: cfg.C3Variants})
+			if err != nil {
+				return nil, nil, fmt.Errorf("honeynet: shard %d c3 fragment: %w", i, err)
+			}
+			sh.c3 = frag
 		}
 		if !cfg.DisableStreaming {
 			sh.sc = analysis.NewStreamClassifier(analysis.StreamConfig{})
@@ -136,6 +150,17 @@ func newBlock(idx, total int, spec GroupSpec, sh *shard, root *rng.Source, cfg C
 		jar:   netsim.NewCookieJarPrefixed(fmt.Sprintf("b%d", idx)),
 		reg:   outlets.NewRegistry(cfg.Sites, sh.sched, src.ForkNamed("outlets")),
 	}
+	if sh.c3 != nil {
+		// Pickup-time C3 ingestion: the fragment learns a credential at
+		// the instant a criminal picks it up — the earliest moment a
+		// breach-monitoring service could know it. The sink is a pure
+		// observer (no randomness, shard-local writes), so wiring it
+		// moves no simulated outcome.
+		frag := sh.c3
+		b.reg.SetSink(func(c outlets.Credential, site string, at time.Time) {
+			frag.Add(c.Account, c.Password, site, at)
+		})
+	}
 	b.engine = attacker.New(attacker.Config{
 		Service:     svc,
 		Scheduler:   sh.sched,
@@ -147,6 +172,12 @@ func newBlock(idx, total int, spec GroupSpec, sh *shard, root *rng.Source, cfg C
 		Populations: cfg.Populations,
 	})
 	b.sandbox = malnet.NewSandbox(malnet.SandboxConfig{}, sh.sched, func(ex malnet.Exfiltration) {
+		if sh.c3 != nil {
+			// Malware-channel ingestion: the credential crosses the C&C
+			// wire at exfiltration — that is when a sinkhole-operating
+			// monitoring service would capture it.
+			sh.c3.Add(ex.Credential.Account, ex.Credential.Password, "malware", ex.At)
+		}
 		b.engine.HandleExfil(ex)
 	})
 	return b

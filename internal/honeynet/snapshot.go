@@ -240,6 +240,10 @@ func (e *Experiment) snapshotMeta() (*snapshot.State, error) {
 			CustomSites:       !sitesAreDefault(cfg.Sites),
 			CustomPopulations: cfg.Populations != nil,
 			CustomLocale:      cfg.Locale != nil,
+
+			DefenderCadenceNS: int64(cfg.DefenderCadence),
+			C3BucketBits:      cfg.C3BucketBits,
+			C3Variants:        cfg.C3Variants,
 		},
 		Root:  snapshot.Stream{Seed: cfg.Seed, Pos: e.src.Pos()},
 		Setup: snapshot.Stream{Seed: cfg.setupSeed(), Pos: e.setupPos},
@@ -265,7 +269,25 @@ func (e *Experiment) snapshotMeta() (*snapshot.State, error) {
 		st.Shards = append(st.Shards, ss)
 	}
 	st.Cursors = e.cursorStates()
+	st.Defender = e.defenderCursors()
 	return st, nil
+}
+
+// defenderCursors freezes the defender's detection state. At the
+// post-setup boundary no credential has leaked yet, so every watched
+// account carries a zero cursor — what matters is that the watch
+// list itself (defender on, and over which accounts) round-trips, so
+// a resumed experiment re-arms the identical detection loop.
+func (e *Experiment) defenderCursors() []snapshot.Cursor {
+	if !e.DefenderEnabled() {
+		return nil
+	}
+	out := make([]snapshot.Cursor, 0, len(e.assignments))
+	for _, a := range e.assignments {
+		out = append(out, snapshot.Cursor{Account: a.Account})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Account < out[j].Account })
+	return out
 }
 
 // cursorStates merges every shard monitor's scrape cursors into one
@@ -338,6 +360,9 @@ func ConfigFromSnapshot(st *snapshot.State) (Config, error) {
 			BlockProxies:  st.Config.LoginRisk.BlockProxies,
 			MaxKmFromHome: st.Config.LoginRisk.MaxKmFromHome,
 		},
+		DefenderCadence: time.Duration(st.Config.DefenderCadenceNS),
+		C3BucketBits:    st.Config.C3BucketBits,
+		C3Variants:      st.Config.C3Variants,
 	}
 	for _, b := range st.Plan {
 		cfg.Plan = append(cfg.Plan, GroupSpec{
@@ -438,6 +463,20 @@ func (e *Experiment) verifyRestored(st *snapshot.State) error {
 	for i, c := range cursors {
 		if c != st.Cursors[i] {
 			return fmt.Errorf("honeynet: snapshot drift: scrape cursor %d is %+v, snapshot recorded %+v", i, c, st.Cursors[i])
+		}
+	}
+	// Defender cursors are checked only when the resumed run arms the
+	// same defender the snapshot recorded; a fork that toggles the
+	// defender (a post-fork knob) legitimately differs here.
+	if int64(e.cfg.DefenderCadence) == st.Config.DefenderCadenceNS {
+		dcursors := e.defenderCursors()
+		if len(dcursors) != len(st.Defender) {
+			return fmt.Errorf("honeynet: snapshot drift: defender watches %d accounts, snapshot recorded %d", len(dcursors), len(st.Defender))
+		}
+		for i, c := range dcursors {
+			if c != st.Defender[i] {
+				return fmt.Errorf("honeynet: snapshot drift: defender cursor %d is %+v, snapshot recorded %+v", i, c, st.Defender[i])
+			}
 		}
 	}
 	if len(e.shards) != len(st.Shards) || e.cfg.ScaleFactor != st.Config.Scale ||

@@ -124,7 +124,7 @@ func BootService(path string, part, parts int, cfg webmail.Config) (*webmail.Ser
 
 // SplitSnapshotFile shards one snapshot file into parts per-shard
 // files named by pattern (which must contain one %d verb). Each output
-// is a complete, self-verifying v2 snapshot holding only that shard's
+// is a complete, self-verifying v4 snapshot holding only that shard's
 // accounts, with the meta carried over verbatim — shipping shard i's
 // file to shard i's host is the fleet's state-distribution step. Two
 // streaming passes: the first counts accounts per shard (the encoder

@@ -311,6 +311,20 @@ func (m *Monitor) Track(account, password string) {
 	m.stale = true // invalidate the cached scrape order
 }
 
+// UpdatePassword rotates the monitor's stored credential for a
+// tracked account — the defender's half of a password reset. The
+// failed flag clears so scraping resumes with the new password on the
+// next tick; the Store-level failure record (if any) stays, because
+// recordFailure is deliberately first-failure-only per account.
+func (m *Monitor) UpdatePassword(account, newPassword string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if t, ok := m.tracked[account]; ok {
+		t.password = newPassword
+		t.failed = false
+	}
+}
+
 // Cursors returns every tracked account's scrape cursor — the
 // account accessVersion after the scraper's previous visit. The
 // snapshot engine serializes these and verifies that a resumed

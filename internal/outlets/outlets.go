@@ -113,11 +113,20 @@ type Inquiry struct {
 // PickupHandler consumes pickup events.
 type PickupHandler func(p Pickup)
 
+// Sink observes every credential at the instant it is picked up —
+// the moment it verifiably enters criminal circulation. This is the
+// C3 ingestion hook: a compromised-credential-checking index fed from
+// here can only know what a breach-monitoring service could know,
+// which is what makes the defender's time-to-detection a fair race
+// against the attacker's time-to-exploit.
+type Sink func(c Credential, site string, at time.Time)
+
 // Outlet wraps a Site with its arrival process.
 type Outlet struct {
 	site  *Site
 	sched *simtime.Scheduler
 	src   *rng.Source
+	sink  Sink
 
 	mu        sync.Mutex
 	posts     int
@@ -135,6 +144,13 @@ func NewOutlet(site *Site, sched *simtime.Scheduler, src *rng.Source) *Outlet {
 
 // Site returns the outlet's site definition.
 func (o *Outlet) Site() *Site { return o.site }
+
+// SetSink installs the pickup-time credential observer. Call before
+// any Post; a nil sink disables observation. The sink runs inside
+// pickup events on the outlet's scheduler and must not draw
+// randomness — it is an observer, never an actor, so installing one
+// cannot move any simulated outcome.
+func (o *Outlet) SetSink(s Sink) { o.sink = s }
 
 // Post publishes credentials on the outlet and schedules their future
 // pickups, delivered via handler. It returns the number of pickups
@@ -159,6 +175,9 @@ func (o *Outlet) Post(creds []Credential, handler PickupHandler) int {
 				o.mu.Lock()
 				o.pickups++
 				o.mu.Unlock()
+				if o.sink != nil {
+					o.sink(p.Credential, o.site.Name, p.At)
+				}
 				handler(p)
 			})
 			total++
@@ -216,6 +235,14 @@ func NewRegistry(sites []*Site, sched *simtime.Scheduler, src *rng.Source) *Regi
 func (r *Registry) Get(name string) (*Outlet, bool) {
 	o, ok := r.outlets[name]
 	return o, ok
+}
+
+// SetSink installs one pickup-time credential observer on every
+// outlet in the registry.
+func (r *Registry) SetSink(s Sink) {
+	for _, o := range r.outlets {
+		o.SetSink(s)
+	}
 }
 
 // ByKind returns outlets of one family, sorted by name. Russian paste

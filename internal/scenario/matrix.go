@@ -91,6 +91,11 @@ type Result struct {
 	Inquiries    int
 	Events       uint64
 	Elapsed      time.Duration
+	// Defender holds the C3 detection-race outcomes (nil unless the
+	// spec set defender_cadence); C3Indexed is the fleet-wide count of
+	// credentials the C3 fragments ingested during the run.
+	Defender  []honeynet.DefenderOutcome
+	C3Indexed int
 }
 
 // SeedFor derives the stable seed of scenario index of total from a
@@ -341,6 +346,8 @@ func runCompiled(spec Spec, seed int64, opts Options, cfg honeynet.Config, pool 
 	res.DropWords = exp.DropWords()
 	res.Blackmailers = exp.Blackmailers()
 	res.Inquiries = len(exp.AllInquiries())
+	res.Defender = exp.DefenderOutcomes()
+	res.C3Indexed = exp.C3Stats().Credentials
 	res.Events = exp.ShardSet().Fired()
 	res.Elapsed = time.Since(start)
 	return res

@@ -56,5 +56,30 @@ func RenderFullReport(r *Result, resamples int) (string, error) {
 
 	section("cases", report.CaseStudies(r.Blackmailers, len(agg.Drafts), r.Inquiries))
 	section("sophistication", report.Sophistication(agg.ConfigRows(), agg.LocationSignificance(resamples, r.Seed)))
+	// The defender section exists only when the scenario armed the C3
+	// loop: a defender-disabled run renders byte-identically to one
+	// from a build without the subsystem.
+	if len(r.Defender) > 0 {
+		section("defender", report.Defender(DefenderRows(r.Defender)))
+	}
 	return b.String(), nil
+}
+
+// DefenderRows converts the engine's detection-race outcomes to the
+// report's neutral rows (report does not import the simulation).
+func DefenderRows(outcomes []honeynet.DefenderOutcome) []report.DefenderRow {
+	rows := make([]report.DefenderRow, 0, len(outcomes))
+	for _, o := range outcomes {
+		rows = append(rows, report.DefenderRow{
+			Account:    o.Account,
+			Group:      o.Group.Label,
+			Channel:    string(o.Group.Channel),
+			LeakAt:     o.LeakAt,
+			Detected:   o.Detected,
+			DetectedAt: o.DetectedAt,
+			Exploited:  o.Exploited,
+			ExploitAt:  o.ExploitAt,
+		})
+	}
+	return rows
 }

@@ -51,6 +51,16 @@ type Spec struct {
 	// Locale selects the decoy-identity locale (corpus.LocaleNames;
 	// "" = English, the paper's population).
 	Locale string `json:"locale,omitempty"`
+	// DefenderCadence enables the C3 defender loop at this check
+	// cadence (a Go duration, e.g. "24h"; "" disables — the paper's
+	// deployment had no defender). See honeynet.Config.DefenderCadence.
+	DefenderCadence string `json:"defender_cadence,omitempty"`
+	// C3BucketBits sets the k-anonymity prefix width of the C3 index
+	// (1..32; 0 selects the engine default). Only meaningful with
+	// defender_cadence set.
+	C3BucketBits int `json:"c3_bucket_bits,omitempty"`
+	// C3Variants turns on MIGP-style variant indexing in the C3 index.
+	C3Variants bool `json:"c3_variants,omitempty"`
 	// Plan overrides the deployment plan (empty = the Table 1 plan).
 	Plan []BlockSpec `json:"plan,omitempty"`
 	// Sites overrides the outlet catalogue (empty = the paper's
@@ -117,7 +127,7 @@ func (s *Spec) Validate() error {
 	if s.MailboxSize < 0 {
 		return fmt.Errorf("scenario %s: negative mailbox_size %d", s.Name, s.MailboxSize)
 	}
-	for _, d := range []struct{ field, v string }{{"scan_every", s.ScanEvery}, {"scrape_every", s.ScrapeEvery}} {
+	for _, d := range []struct{ field, v string }{{"scan_every", s.ScanEvery}, {"scrape_every", s.ScrapeEvery}, {"defender_cadence", s.DefenderCadence}} {
 		if d.v == "" {
 			continue
 		}
@@ -130,6 +140,12 @@ func (s *Spec) Validate() error {
 		if _, ok := corpus.LocaleByName(s.Locale); !ok {
 			return fmt.Errorf("scenario %s: unknown locale %q (have %v)", s.Name, s.Locale, corpus.LocaleNames())
 		}
+	}
+	if s.C3BucketBits < 0 || s.C3BucketBits > 32 {
+		return fmt.Errorf("scenario %s: c3_bucket_bits %d out of range [0, 32]", s.Name, s.C3BucketBits)
+	}
+	if s.DefenderCadence == "" && (s.C3BucketBits != 0 || s.C3Variants) {
+		return fmt.Errorf("scenario %s: c3_bucket_bits/c3_variants need defender_cadence set", s.Name)
 	}
 	plan, err := s.plan()
 	if err != nil {
@@ -412,6 +428,15 @@ func (s *Spec) Config(seed int64, shards, scale int) (honeynet.Config, error) {
 			return honeynet.Config{}, fmt.Errorf("scenario %s: unknown locale %q", s.Name, s.Locale)
 		}
 		cfg.Locale = &loc
+	}
+	if s.DefenderCadence != "" {
+		d, err := time.ParseDuration(s.DefenderCadence)
+		if err != nil {
+			return honeynet.Config{}, fmt.Errorf("scenario %s: bad defender_cadence: %w", s.Name, err)
+		}
+		cfg.DefenderCadence = d
+		cfg.C3BucketBits = s.C3BucketBits
+		cfg.C3Variants = s.C3Variants
 	}
 	return cfg, nil
 }

@@ -43,8 +43,10 @@ import (
 // magic. Decoders reject other versions rather than guessing.
 // Version 2 replaced the whole-payload v1 layout with the framed
 // streaming container; version 3 added Config.SetupLayout (the setup
-// stream-derivation layout, which also entered the fingerprint).
-const Version = 3
+// stream-derivation layout, which also entered the fingerprint);
+// version 4 added the C3 defender section (Config.DefenderCadenceNS,
+// C3BucketBits, C3Variants and the State.Defender cursor list).
+const Version = 4
 
 // magic identifies a snapshot file: 7 fixed bytes plus the version.
 var magic = [8]byte{'h', 'n', 'y', 's', 'n', 'a', 'p', Version}
@@ -57,6 +59,7 @@ type State struct {
 	Setup    Stream    // setup stream at its final position (diagnostic)
 	Shards   []Shard   // per-shard scheduler/wheel descriptors
 	Cursors  []Cursor  // monitor scrape cursors, sorted by account
+	Defender []Cursor  // defender detection cursors (empty: defender off)
 	Accounts []Account // full account stores, in plan order
 }
 
@@ -89,6 +92,13 @@ type Config struct {
 	CustomSites       bool
 	CustomPopulations bool
 	CustomLocale      bool
+
+	// C3 defender loop (v4): cadence of the detection check (0 =
+	// defender disabled), k-anonymity prefix width of the per-shard
+	// index fragments, and whether MIGP-style variants are indexed.
+	DefenderCadenceNS int64
+	C3BucketBits      int
+	C3Variants        bool
 }
 
 // LoginRisk mirrors webmail.LoginRiskConfig.
@@ -173,6 +183,9 @@ func (s *State) sizeHint() int {
 	for _, c := range s.Cursors {
 		n += len(c.Account) + 16
 	}
+	for _, c := range s.Defender {
+		n += len(c.Account) + 16
+	}
 	for _, a := range s.Accounts {
 		n += len(a.Address) + len(a.Password) + len(a.Owner) + len(a.SendFrom) + 32
 		for _, m := range a.Messages {
@@ -239,6 +252,11 @@ func (s *State) encodeMeta(w *writer, accounts int) {
 		w.str(c.Account)
 		w.u64(c.LastSeen)
 	}
+	w.count(len(s.Defender))
+	for _, c := range s.Defender {
+		w.str(c.Account)
+		w.u64(c.LastSeen)
+	}
 	w.count(accounts)
 }
 
@@ -290,6 +308,9 @@ func (c *Config) encode(w *writer) {
 	w.bool(c.CustomSites)
 	w.bool(c.CustomPopulations)
 	w.bool(c.CustomLocale)
+	w.i64(c.DefenderCadenceNS)
+	w.i64(int64(c.C3BucketBits))
+	w.bool(c.C3Variants)
 }
 
 func (s *Stream) encode(w *writer) {
@@ -417,6 +438,22 @@ func (s *State) decodeMeta(r *reader) (accounts int, err error) {
 			return 0, err
 		}
 		if c.LastSeen, err = r.u64("cursor value"); err != nil {
+			return 0, err
+		}
+	}
+	nDefender, err := r.count("defender cursors")
+	if err != nil {
+		return 0, err
+	}
+	if nDefender > 0 {
+		s.Defender = make([]Cursor, nDefender)
+	}
+	for i := range s.Defender {
+		c := &s.Defender[i]
+		if c.Account, err = r.str("defender account"); err != nil {
+			return 0, err
+		}
+		if c.LastSeen, err = r.u64("defender value"); err != nil {
 			return 0, err
 		}
 	}
@@ -555,6 +592,15 @@ func (c *Config) decode(r *reader) error {
 		if *f, err = r.bool("config flag"); err != nil {
 			return err
 		}
+	}
+	if c.DefenderCadenceNS, err = r.i64("defender cadence"); err != nil {
+		return err
+	}
+	if c.C3BucketBits, err = r.intField("c3 bucket bits"); err != nil {
+		return err
+	}
+	if c.C3Variants, err = r.bool("c3 variants flag"); err != nil {
+		return err
 	}
 	return nil
 }

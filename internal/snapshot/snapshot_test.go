@@ -16,8 +16,9 @@ func sampleState() *State {
 			ScanIntervalNS: 600e9, ScrapeIntervalNS: 3600e9, Shards: 2, Scale: 1,
 			VisibleScripts: true, DisableCaseStudies: false,
 			DisableStreaming: false, DisableDirtyTracking: true,
-			LoginRisk:   LoginRisk{Enabled: true, BlockTor: true, MaxKmFromHome: 1234.5},
-			CustomSites: true,
+			LoginRisk:         LoginRisk{Enabled: true, BlockTor: true, MaxKmFromHome: 1234.5},
+			CustomSites:       true,
+			DefenderCadenceNS: 43200e9, C3BucketBits: 12, C3Variants: true,
 		},
 		Plan: []Block{
 			{ID: 1, Count: 2, Channel: "paste", Hint: "", Label: "popular paste sites"},
@@ -32,7 +33,8 @@ func sampleState() *State {
 			}},
 			{NowNS: 1435190400000000000, Seq: 3, Fired: 0, Pending: 3},
 		},
-		Cursors: []Cursor{{Account: "a@x.example", LastSeen: 0}, {Account: "b@x.example", LastSeen: 0}},
+		Cursors:  []Cursor{{Account: "a@x.example", LastSeen: 0}, {Account: "b@x.example", LastSeen: 0}},
+		Defender: []Cursor{{Account: "a@x.example", LastSeen: 0}, {Account: "b@x.example", LastSeen: 0}},
 		Accounts: []Account{
 			{
 				Address: "a@x.example", Password: "hp-0001", Owner: "Ada X",

@@ -7,7 +7,8 @@ import (
 	"io"
 )
 
-// Streaming container, format version 2. After the 8-byte magic the
+// Streaming container (introduced in format v2, unchanged since —
+// the version byte tracks snapshot.Version). After the 8-byte magic the
 // file is a sequence of self-checking frames:
 //
 //	[kind:1][payloadLen:uvarint][payload][fnv64le:8]

@@ -449,6 +449,27 @@ func (s *Service) Suspend(address, reason string) error {
 	return nil
 }
 
+// ResetPassword is the provider-side credential rotation the C3
+// defender loop triggers on a detected leak: the password changes
+// without any session (unlike Session.ChangePassword, which is the
+// hijacker's move), so every live session — the attacker's included —
+// is invalidated at once.
+func (s *Service) ResetPassword(address, newPassword string) error {
+	p, a, err := s.acquire(address)
+	if err != nil {
+		return err
+	}
+	defer p.mu.Unlock()
+	a.password = newPassword
+	a.passwordChanges++
+	a.bumpAccessLocked(-1) // scraper-visible: the monitor must learn the new credential
+	s.journalLocked(p, a, Event{
+		Time: p.now(), Kind: EventPasswordChange,
+		Account: address, Detail: "reset",
+	})
+	return nil
+}
+
 // Suspended reports whether the account is blocked.
 func (s *Service) Suspended(address string) bool {
 	p, a, err := s.acquire(address)

@@ -12,7 +12,9 @@
 # scale=100; BENCH_XXL=1 adds scale=1000) and the per-benchmark memory
 # columns. PR 8 adds the cold-setup lane (BenchmarkSetupXL, the
 # parallel-setup scaling contract) and the setup_seconds column the
-# sharded benchmarks now report.
+# sharded benchmarks now report. PR 10 adds the C3 lane
+# (BenchmarkC3Build / BenchmarkC3Range at one million credentials) and
+# the range_qps column the acceptance bar reads.
 #
 # Usage: scripts/bench_snapshot.sh [output.json]
 # Env:   BENCH_COUNT=6  run each benchmark 6 times (benchstat-friendly;
@@ -35,7 +37,7 @@ raw="${BENCH_RAW:-$(mktemp)}"
 
 # Plain POSIX sh has no pipefail, so a `| tee` pipeline would swallow
 # a failing go test; write to the file and replay it instead.
-if ! go test -bench 'BenchmarkShardedRun|BenchmarkSetupXL|BenchmarkStreamingRun|BenchmarkMatrixRun$|BenchmarkMatrixWarmStart|BenchmarkSnapshotRoundTrip' \
+if ! go test -bench 'BenchmarkShardedRun|BenchmarkSetupXL|BenchmarkStreamingRun|BenchmarkMatrixRun$|BenchmarkMatrixWarmStart|BenchmarkSnapshotRoundTrip|BenchmarkC3Build|BenchmarkC3Range' \
     -benchtime 1x -count "$count" -benchmem -run '^$' . > "$raw" 2>&1; then
     cat "$raw" >&2
     echo "bench_snapshot: go test -bench failed; no snapshot written" >&2
@@ -45,7 +47,7 @@ cat "$raw" >&2
 
 awk -v out="$out" -v pr="$pr" -v cores="$cores" -v count="$count" '
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
-/^Benchmark(ShardedRun|SetupXL|StreamingRun|MatrixRun|MatrixWarmStart|SnapshotRoundTrip)/ {
+/^Benchmark(ShardedRun|SetupXL|StreamingRun|MatrixRun|MatrixWarmStart|SnapshotRoundTrip|C3Build|C3Range)/ {
     name = $1
     # The trailing -N suffix go test appends is GOMAXPROCS.
     if (match(name, /-[0-9]+$/)) {
@@ -54,13 +56,14 @@ awk -v out="$out" -v pr="$pr" -v cores="$cores" -v count="$count" '
     }
     # Collect "value unit" pairs wherever they sit on the line, so the
     # parse does not depend on column order.
-    ns = ""; allocs = ""; bytes = ""; heap = ""; setup = ""
+    ns = ""; allocs = ""; bytes = ""; heap = ""; setup = ""; qps = ""
     for (i = 3; i <= NF; i++) {
         if ($i == "ns/op")           ns = $(i - 1)
         if ($i == "allocs/op")       allocs = $(i - 1)
         if ($i == "B/op")            bytes = $(i - 1)
         if ($i == "live-heap-bytes") heap = $(i - 1)
         if ($i == "setup-seconds")   setup = $(i - 1)
+        if ($i == "range-qps")       qps = $(i - 1)
     }
     if (ns == "") next
     # With -count > 1 keep the minimum per benchmark (benchstat reads
@@ -70,6 +73,9 @@ awk -v out="$out" -v pr="$pr" -v cores="$cores" -v count="$count" '
     if (bytes != "" && (!(name in by) || bytes + 0 < by[name] + 0))   by[name] = bytes
     if (heap != "" && (!(name in hp) || heap + 0 < hp[name] + 0))     hp[name] = heap
     if (setup != "" && (!(name in su) || setup + 0 < su[name] + 0))   su[name] = setup
+    # Throughput keeps the minimum too: the recorded qps is the worst
+    # observed, so the ≥5k req/s bar is conservative.
+    if (qps != "" && (!(name in qp) || qps + 0 < qp[name] + 0))       qp[name] = qps
     if (!(name in seen)) { seen[name] = 1; order[++n] = name }
 }
 END {
@@ -89,6 +95,7 @@ END {
         if (name in by) row = row sprintf(", \"bytes_op\": %.0f", by[name])
         if (name in hp) row = row sprintf(", \"live_heap_bytes\": %.0f", hp[name])
         if (name in su) row = row sprintf(", \"setup_seconds\": %.3f", su[name])
+        if (name in qp) row = row sprintf(", \"range_qps\": %.0f", qp[name])
         row = row "}"
         printf "%s%s\n", row, (i < n ? "," : "") > out
     }

@@ -1,0 +1,51 @@
+#!/bin/sh
+# Fails if any wire-protocol op dispatched or emitted in code is
+# missing from docs/WIRE_PROTOCOL.md. The doc is the normative
+# catalogue of the serving stack's surface; this keeps it from
+# silently drifting when a daemon grows an op.
+#
+# Op strings are harvested from three shapes, non-test Go files only:
+#   - server dispatch arms:       case "list":
+#   - client/op-kind literals:    Op: "login"   /   OpList = "list"
+#   - raw probe frames:           {\"op\":\"ping\"}
+# The doc must mention each op in backticks (`list`) — the form every
+# op heading and table row in WIRE_PROTOCOL.md uses.
+set -u
+cd "$(dirname "$0")/.."
+doc=docs/WIRE_PROTOCOL.md
+if [ ! -f "$doc" ]; then
+	echo "check_wire_docs: $doc missing" >&2
+	exit 1
+fi
+
+# The files that define the wire surface: the three JSON daemons'
+# server/client code and the fleet tooling that emits frames.
+files=$(ls internal/webmail/server.go internal/c3/server.go internal/c3/replay.go \
+	internal/livefleet/router.go internal/livefleet/health.go internal/livefleet/loadgen.go \
+	cmd/webmaild/*.go cmd/c3d/*.go cmd/loadgen/*.go 2>/dev/null | grep -v _test)
+
+ops=$(
+	{
+		sed -n 's/^[[:space:]]*case "\([a-z][a-z]*\)".*/\1/p' $files
+		sed -n 's/.*Op:[[:space:]]*"\([a-z][a-z]*\)".*/\1/p' $files
+		sed -n 's/.*Op[A-Za-z]*[[:space:]]*=[[:space:]]*"\([a-z][a-z]*\)".*/\1/p' $files
+		sed -n 's/.*\\"op\\":\\"\([a-z][a-z]*\)\\".*/\1/p' $files
+	} | sort -u
+)
+
+if [ -z "$ops" ]; then
+	echo "check_wire_docs: no op strings harvested — the extraction patterns rotted" >&2
+	exit 1
+fi
+
+fail=0
+for op in $ops; do
+	if ! grep -q "\`$op\`" "$doc"; then
+		echo "op \"$op\" is dispatched or emitted in code but undocumented in $doc" >&2
+		fail=1
+	fi
+done
+if [ "$fail" -ne 0 ]; then
+	echo "document the op (request, response, example frames) in $doc" >&2
+fi
+exit "$fail"
